@@ -1,0 +1,63 @@
+"""Ablation -- Reorder Unit granularity (buckets x window).
+
+The hardware Reorder Unit (paper Fig. 8) is deliberately coarse: it
+compares per-channel switching-index sums against preset interval
+thresholds (buckets, not an exact sort), and one decision covers a window
+of several tiles.  This ablation sweeps both knobs on the BOS stage to
+quantify how much balancing quality each level of hardware simplicity
+costs -- the trade-off that justifies the paper's "hardware efficient"
+design claim.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.models import get_model_spec
+from repro.sim import DuetAccelerator
+from repro.sim.config import stage_config
+from repro.workloads import cnn_workloads
+
+
+def test_reorder_granularity(benchmark, report):
+    spec = get_model_spec("alexnet")
+    wl = cnn_workloads(spec)
+    base = DuetAccelerator(stage="BASE").run(spec, workloads=wl)
+
+    def run_all():
+        rows = []
+        for buckets in (2, 4, 16, 256):
+            for window in (1, 2, 8):
+                cfg = dataclasses.replace(
+                    stage_config("BOS"),
+                    reorder_buckets=buckets,
+                    reorder_window_tiles=window,
+                )
+                r = DuetAccelerator(config=cfg).run(spec, workloads=wl)
+                rows.append(
+                    (buckets, window, base.total_cycles / r.total_cycles,
+                     r.mean_utilization)
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        "BOS speedup/utilisation vs Reorder Unit granularity (AlexNet):",
+        f"{'buckets':>8s} {'window':>7s} {'speedup':>8s} {'util':>6s}",
+    ]
+    for buckets, window, speedup, util in rows:
+        marker = "  <- default" if (buckets, window) == (16, 2) else ""
+        lines.append(
+            f"{buckets:8d} {window:7d} {speedup:7.2f}x {util:6.2f}{marker}"
+        )
+    report("\n".join(lines))
+
+    by_key = {(b, w): s for b, w, s, _ in rows}
+    # finer windows balance better (window dominates bucket count)
+    assert by_key[(16, 1)] >= by_key[(16, 8)]
+    # more buckets never hurt at fixed window
+    assert by_key[(256, 2)] >= by_key[(2, 2)] - 1e-9
+    # even the coarsest reorder beats no reorder (OS stage)
+    os_report = DuetAccelerator(stage="OS").run(spec, workloads=wl)
+    coarsest = min(s for _, _, s, _ in rows)
+    assert coarsest > base.total_cycles / os_report.total_cycles * 0.98

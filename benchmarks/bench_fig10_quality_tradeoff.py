@@ -1,0 +1,197 @@
+"""Fig. 10 -- model inference quality vs. savings.
+
+Paper: (a)/(b) FLOPs reduction at different top-1/top-5 accuracy-loss
+levels for CNNs (AlexNet 3.33x, ResNet18 5.15x at 1% top-1 loss);
+(c)/(d) data-access reduction vs. perplexity/BLEU for LSTM/GRU/GNMT.
+
+We regenerate the trade-off curves on trained proxy models: sweeping the
+switching-threshold aggressiveness and recording (quality loss, FLOPs
+reduction) for CNNs and (quality loss, weight-access reduction) for RNNs.
+Absolute reductions differ from the paper (proxy layers are small, so the
+fixed speculation overhead weighs more), but the trade-off *shape* -- a
+monotone frontier with multi-x savings at small quality loss -- is the
+reproduced claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.attention import AttentionProxySeq2Seq
+from repro.models.dualize import DualizedCNN, DualizedLanguageModel, DualizedSeq2Seq
+from repro.models.proxies import (
+    ProxyLanguageModel,
+    ProxySeq2Seq,
+    proxy_alexnet,
+    proxy_resnet18,
+    train_classifier,
+    train_language_model,
+    train_seq2seq,
+    evaluate_classifier,
+    evaluate_language_model,
+    evaluate_seq2seq,
+)
+from repro.nn.data import (
+    GaussianMixtureImages,
+    SyntheticTranslationTask,
+    ZipfTokenStream,
+)
+
+FRACTIONS = (0.3, 0.5, 0.7, 0.85, 0.95)
+
+
+@pytest.fixture(scope="module", params=["alexnet", "resnet18"])
+def cnn_setup(request):
+    rng = np.random.default_rng(11)
+    ds = GaussianMixtureImages(num_classes=8, noise=0.6)
+    factory = proxy_alexnet if request.param == "alexnet" else proxy_resnet18
+    model = factory(num_classes=8, rng=rng)
+    train_classifier(model, ds, steps=80, rng=rng)
+    cal, _ = ds.sample(24, rng)
+    dual = DualizedCNN.build(model, cal, reduction=0.12, rng=rng)
+    return request.param, model, ds, dual, cal
+
+
+def test_cnn_flops_vs_accuracy(benchmark, report, cnn_setup):
+    name, model, ds, dual, cal = cnn_setup
+    eval_rng = np.random.default_rng(99)
+    images, labels = ds.sample(96, eval_rng)
+    base_top1 = evaluate_classifier(model, ds, samples=96,
+                                    rng=np.random.default_rng(99))
+
+    def sweep():
+        rows = []
+        for frac in FRACTIONS:
+            dual.set_thresholds_by_fraction(frac, cal)
+            top1, savings = dual.evaluate(images, labels, k=1)
+            top5, _ = dual.evaluate(images, labels, k=5)
+            rows.append((frac, top1, top5, savings.flops_reduction))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"Proxy {name}: FLOPs reduction vs accuracy (base top-1 {base_top1:.3f})",
+        f"{'insens.frac':>12s} {'top1':>6s} {'top5':>6s} {'top1 loss':>10s} {'FLOPs red':>10s}",
+    ]
+    best_at_1pct = 1.0
+    for frac, top1, top5, reduction in rows:
+        loss = base_top1 - top1
+        if loss <= 0.01:
+            best_at_1pct = max(best_at_1pct, reduction)
+        lines.append(
+            f"{frac:12.2f} {top1:6.3f} {top5:6.3f} {loss:10.3f} {reduction:9.2f}x"
+        )
+    lines.append(
+        f"  uniform tuning, <=1% top-1 loss: {best_at_1pct:.2f}x"
+    )
+    # the paper tunes thresholds per layer; the greedy per-layer
+    # allocation is the faithful operating point
+    from repro.core.thresholds import allocate_layer_fractions
+
+    allocate_layer_fractions(
+        dual, cal, images, labels, max_accuracy_loss=0.01,
+        levels=FRACTIONS,
+    )
+    tuned_top1, tuned_savings = dual.evaluate(images, labels, k=1)
+    lines.append(
+        f"  per-layer tuning, <=1% top-1 loss: "
+        f"{tuned_savings.flops_reduction:.2f}x at top-1 {tuned_top1:.3f} "
+        "(paper: AlexNet 3.33x, ResNet18 5.15x)"
+    )
+    report("\n".join(lines))
+    # the frontier exists: savings grow with aggressiveness...
+    reductions = [r[3] for r in rows]
+    assert reductions[-1] > reductions[0]
+    # ...and multi-x savings are available within the 1% budget
+    assert best_at_1pct > 1.2
+    assert tuned_savings.flops_reduction >= best_at_1pct * 0.9
+    assert tuned_top1 >= base_top1 - 0.011
+
+
+@pytest.fixture(scope="module", params=["lstm", "gru"])
+def lm_setup(request):
+    rng = np.random.default_rng(21)
+    stream = ZipfTokenStream(vocab_size=60, branching=4)
+    model = ProxyLanguageModel(
+        60, embed_dim=24, hidden_size=48, cell=request.param, rng=rng
+    )
+    train_language_model(model, stream, steps=120, seq_len=16, rng=rng)
+    cal = stream.sample(16, 8, rng)
+    dual = DualizedLanguageModel.build(model, cal, reduction=0.25, rng=rng)
+    return request.param, model, stream, dual, cal
+
+
+def test_rnn_access_vs_perplexity(benchmark, report, lm_setup):
+    name, model, stream, dual, cal = lm_setup
+    eval_rng = np.random.default_rng(5)
+    tokens_in, tokens_tgt = stream.lm_batch(16, 16, eval_rng)
+    base_ppl = evaluate_language_model(
+        model, stream, seq_len=16, batch_size=16, rng=np.random.default_rng(5)
+    )
+
+    def sweep():
+        rows = []
+        for frac in FRACTIONS:
+            dual.set_thresholds_by_fraction(frac, cal)
+            ppl, savings = dual.evaluate(tokens_in, tokens_tgt)
+            rows.append((frac, ppl, savings.weight_access_reduction))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"Proxy {name.upper()} LM: weight-access reduction vs perplexity "
+        f"(base ppl {base_ppl:.2f})",
+        f"{'insens.frac':>12s} {'ppl':>8s} {'ppl increase':>13s} {'access red':>11s}",
+    ]
+    for frac, ppl, reduction in rows:
+        lines.append(
+            f"{frac:12.2f} {ppl:8.2f} {ppl - base_ppl:13.2f} {reduction:10.2f}x"
+        )
+    lines.append("  (paper Fig. 10c: multi-x access reduction at small ppl increase)")
+    report("\n".join(lines))
+    reductions = [r[2] for r in rows]
+    ppls = [r[1] for r in rows]
+    assert reductions[-1] > reductions[0]  # more switching, more savings
+    # moderate switching keeps perplexity within a small factor of base
+    assert ppls[0] < base_ppl * 1.5
+
+
+def test_gnmt_access_vs_quality(benchmark, report):
+    rng = np.random.default_rng(31)
+    task = SyntheticTranslationTask(vocab_size=12, seq_len=4)
+    # GNMT decodes with attention; the attentional proxy reproduces the
+    # graceful degradation real GNMT shows (attention over the accurate
+    # encoder memory masks recurrent approximation errors)
+    model = AttentionProxySeq2Seq(12, embed_dim=24, hidden_size=48, rng=rng)
+    train_seq2seq(model, task, steps=500, rng=rng)
+    base_score = evaluate_seq2seq(model, task, samples=96)
+    src, tgt = task.sample(16, rng)
+    # proxy cells are 48-wide; at this scale a k/d of 0.25 is far
+    # cruder (JL-wise) than 0.25 of a 1024-wide GNMT cell, so the proxy
+    # uses 0.5 to keep the approximation quality comparable
+    dual = DualizedSeq2Seq.build(model, src, tgt, reduction=0.5, rng=rng)
+
+    bos = np.zeros_like(tgt[:1])
+    tgt_in = np.concatenate([bos, tgt[:-1]], axis=0)
+
+    def sweep():
+        rows = []
+        for frac in (0.1, 0.25, 0.4, 0.6, 0.8):
+            dual.set_thresholds_by_fraction(frac, src, tgt_in)
+            score, savings = dual.evaluate(task, samples=96)
+            rows.append((frac, score, savings.weight_access_reduction))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"Proxy GNMT (seq2seq): access reduction vs quality "
+        f"(base score {base_score:.3f})",
+        f"{'insens.frac':>12s} {'score':>7s} {'loss':>7s} {'access red':>11s}",
+    ]
+    for frac, score, reduction in rows:
+        lines.append(
+            f"{frac:12.2f} {score:7.3f} {base_score - score:7.3f} {reduction:10.2f}x"
+        )
+    lines.append("  (paper Fig. 10d: BLEU degrades gracefully as savings grow)")
+    report("\n".join(lines))
+    assert rows[-1][2] > rows[0][2]  # smaller theta -> more approximate
+    assert rows[0][1] > base_score - 0.1  # conservative tuning near base quality

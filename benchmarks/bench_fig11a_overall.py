@@ -1,0 +1,41 @@
+"""Fig. 11(a) -- overall speedup and energy efficiency.
+
+Paper: "Compared with the single-module baseline design, DUET achieves
+2.24x average speedup ... and 1.95x energy saving" across AlexNet,
+ResNet18, ResNet50, VGG16, LSTM, GRU and GNMT.
+"""
+
+import pytest
+
+from repro.experiments import overall_speedup
+from repro.experiments.architecture import ALL_MODELS
+
+
+def test_overall_speedup_and_energy(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: overall_speedup(models=ALL_MODELS), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'model':>10s} {'speedup':>8s} {'energy x':>9s} "
+        f"{'DUET ms':>8s} {'base ms':>8s}"
+    ]
+    for name, speedup, energy, duet_ms, base_ms in result.rows:
+        lines.append(
+            f"{name:>10s} {speedup:7.2f}x {energy:8.2f}x {duet_ms:8.3f} {base_ms:8.3f}"
+        )
+    lines.append(
+        f"{'geomean':>10s} {result.geomean_speedup:7.2f}x "
+        f"{result.geomean_energy_saving:8.2f}x   "
+        "(paper: 2.24x speedup, 1.95x energy)"
+    )
+    report("\n".join(lines))
+
+    # the headline claims, within a tolerance band
+    assert 1.8 < result.geomean_speedup < 3.2
+    assert 1.5 < result.geomean_energy_saving < 3.0
+    # every model must individually benefit
+    assert all(r[1] > 1.3 for r in result.rows)
+    assert all(r[2] > 1.2 for r in result.rows)
+    # memory-bound RNNs land near the paper's ~2.2x
+    rnn_speedups = [r[1] for r in result.rows if r[0] in ("lstm", "gru", "gnmt")]
+    assert all(1.8 < s < 2.6 for s in rnn_speedups)

@@ -1,0 +1,55 @@
+"""Fig. 11(b) -- comparison with state-of-the-art CNN accelerators.
+
+Paper (normalised to DUET = 1): Eyeriss has the worst latency; Cnvlutin /
+SnaPEA / Predict consume 1.77x / 2.21x / 2.21x DUET's energy; SnaPEA and
+Predict EDP are 3.98x and 2.21x; Predict+Cnvlutin reaches comparable
+performance but 1.81x energy and 2.03x EDP.
+
+Known deviation: in our iso-MAC model, Predict (without input skipping)
+cannot reach DUET-level latency, so its latency and EDP ratios exceed the
+paper's -- see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import sota_comparison
+
+PAPER_ENERGY = {
+    "cnvlutin": 1.77,
+    "snapea": 2.21,
+    "predict": 2.21,
+    "predict+cnvlutin": 1.81,
+}
+
+
+def test_sota_comparison(benchmark, report):
+    result = benchmark.pedantic(sota_comparison, rounds=1, iterations=1)
+    summary = result.ratios
+    lines = [
+        "Normalised to DUET = 1.0 (geomean over AlexNet/ResNet18/VGG16):",
+        f"{'design':>18s} {'latency':>8s} {'energy':>8s} {'EDP':>8s} {'paper energy':>13s}",
+    ]
+    for key, vals in summary.items():
+        paper = PAPER_ENERGY.get(key)
+        paper_s = f"{paper:.2f}x" if paper else "~2x (impl.)"
+        lines.append(
+            f"{key:>18s} {vals['latency']:7.2f}x {vals['energy']:7.2f}x "
+            f"{vals['edp']:7.2f}x {paper_s:>13s}"
+        )
+    report("\n".join(lines))
+
+    # DUET wins everywhere
+    for key, vals in summary.items():
+        assert vals["latency"] > 1.0, key
+        assert vals["energy"] > 1.0, key
+    # Eyeriss is the slowest or tied-slowest design
+    slowest = max(summary, key=lambda k: summary[k]["latency"])
+    assert summary["eyeriss"]["latency"] >= summary[slowest]["latency"] * 0.9
+    # input-skipping designs are the fastest baselines
+    assert summary["predict+cnvlutin"]["latency"] < summary["snapea"]["latency"]
+    assert summary["cnvlutin"]["latency"] < summary["eyeriss"]["latency"]
+    # energy ratios in the paper's band
+    for key, target in PAPER_ENERGY.items():
+        assert 0.5 * target < summary[key]["energy"] < 1.8 * target, key
+    # EDP ordering: SnaPEA worst of the skipping designs (paper: 3.98x)
+    assert summary["snapea"]["edp"] > summary["predict+cnvlutin"]["edp"]

@@ -1,0 +1,34 @@
+"""Fig. 12(a) -- layer-wise speedup of the DUET techniques.
+
+Paper (CONV layers of AlexNet and ResNet18, vs. the Executor-only
+baseline): output switching alone (OS) 1.20x; + adaptive mapping (BOS)
+1.93x; integrated input+output switching (IOS) 2.36x; full DUET 3.05x.
+"""
+
+import pytest
+
+from repro.experiments import stage_speedups
+
+PAPER = {"OS": 1.20, "BOS": 1.93, "IOS": 2.36, "DUET": 3.05}
+
+
+def test_stage_speedups(benchmark, report):
+    result = benchmark.pedantic(stage_speedups, rounds=1, iterations=1)
+    lines = [
+        "Layer-wise speedup over single-module baseline "
+        "(CONV layers of AlexNet + ResNet18):",
+        f"{'stage':>6s} {'measured':>9s} {'paper':>7s}",
+    ]
+    means = {stage: result.mean(stage) for stage in PAPER}
+    for stage, value in means.items():
+        lines.append(f"{stage:>6s} {value:8.2f}x {PAPER[stage]:6.2f}x")
+    report("\n".join(lines))
+
+    # monotone technique ordering (the figure's main claim)
+    assert means["OS"] < means["BOS"]
+    assert means["OS"] < means["IOS"]
+    assert means["IOS"] < means["DUET"]
+    assert means["BOS"] < means["DUET"]
+    # magnitudes within a band of the paper's numbers
+    for stage, target in PAPER.items():
+        assert 0.6 * target < means[stage] < 1.6 * target, (stage, means[stage])

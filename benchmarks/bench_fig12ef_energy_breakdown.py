@@ -1,0 +1,68 @@
+"""Fig. 12(e)/(f) -- energy breakdowns with and without off-chip access.
+
+Paper: CONV-layer savings come mostly from fewer MACs and local-buffer
+accesses in the Executor; RNN savings come from off-chip weight traffic.
+The Speculator consumes 3.5-6.3% of on-chip energy for CONV layers and
+<1% for RNNs.
+"""
+
+import pytest
+
+from repro.experiments import energy_breakdowns
+
+
+def test_energy_breakdown_with_dram(benchmark, report):
+    """Fig. 12(e): total energy by component, normalised to BASE."""
+    result = benchmark.pedantic(energy_breakdowns, rounds=1, iterations=1)
+    lines = [
+        f"{'model':>9s} {'config':>6s} {'exec cmp':>9s} {'exec buf':>9s} "
+        f"{'spec':>6s} {'glb':>6s} {'noc':>6s} {'dram':>6s} {'total':>6s}"
+        "  (norm. to BASE)"
+    ]
+    for name, (base_e, duet_e) in result.energy.items():
+        for label, e in (("BASE", base_e), ("DUET", duet_e)):
+            t = base_e.total
+            lines.append(
+                f"{name:>9s} {label:>6s} {e.executor_compute / t:9.3f} "
+                f"{e.executor_local / t:9.3f} {e.speculator_total / t:6.3f} "
+                f"{e.glb / t:6.3f} {e.noc / t:6.3f} {e.dram / t:6.3f} "
+                f"{e.total / t:6.3f}"
+            )
+    report("\n".join(lines))
+
+    for name, (base_e, duet_e) in result.energy.items():
+        assert duet_e.total < base_e.total, name
+        if name in ("lstm", "gru", "gnmt"):
+            # RNN savings come mostly from DRAM (paper Fig. 12e)
+            dram_saving = base_e.dram - duet_e.dram
+            other_saving = (base_e.total - duet_e.total) - dram_saving
+            assert dram_saving > other_saving, name
+        else:
+            # CNN savings come mostly from Executor compute + local buffers
+            exec_saving = (
+                base_e.executor_compute
+                + base_e.executor_local
+                - duet_e.executor_compute
+                - duet_e.executor_local
+            )
+            assert exec_saving > 0.5 * (base_e.total - duet_e.total), name
+
+
+def test_speculator_energy_share(benchmark, report):
+    """Fig. 12(f): on-chip share of the Speculator."""
+    models = ("alexnet", "resnet18", "vgg16", "lstm", "gru", "gnmt")
+    result = benchmark.pedantic(
+        lambda: energy_breakdowns(models=models), rounds=1, iterations=1
+    )
+    lines = ["Speculator share of on-chip energy (DUET):"]
+    shares = {name: result.speculator_share(name) for name in models}
+    for name, share in shares.items():
+        paper = "<1%" if name in ("lstm", "gru", "gnmt") else "3.5-6.3%"
+        lines.append(f"  {name:>9s}: {share:6.1%}   (paper: {paper})")
+    report("\n".join(lines))
+
+    for name, share in shares.items():
+        if name in ("lstm", "gru", "gnmt"):
+            assert share < 0.02, name  # paper: <1%
+        else:
+            assert share < 0.12, name  # paper: 3.5-6.3%; we land 6-10%

@@ -1,0 +1,33 @@
+"""Fig. 13(a) -- design-space exploration of the Speculator size.
+
+Paper: with small systolic arrays (8x8, 8x16) the Speculator cannot feed
+the Executor and becomes the bottleneck; performance saturates by 16x32
+(the chosen point), and 32x32 "merely improves".
+"""
+
+import pytest
+
+from repro.experiments import speculator_size_dse
+
+SIZES = ((8, 8), (8, 16), (16, 16), (16, 32), (32, 32))
+
+
+def test_speculator_size_dse(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: speculator_size_dse(sizes=SIZES), rounds=1, iterations=1
+    )
+    speedups = result.speedups
+    lines = ["Speedup vs baseline by Speculator systolic-array size:"]
+    for (r, c), s in speedups.items():
+        marker = "  <- chosen (paper)" if (r, c) == result.chosen else ""
+        lines.append(f"  {r:2d}x{c:<2d}: {s:.2f}x{marker}")
+    report("\n".join(lines))
+
+    # small speculators bottleneck the pipeline
+    assert speedups[(8, 8)] < speedups[(16, 32)]
+    assert speedups[(8, 16)] < speedups[(16, 32)]
+    # monotone non-decreasing in size
+    ordered = [speedups[s] for s in SIZES]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # beyond the chosen point the gain is marginal (paper: "merely improves")
+    assert speedups[(32, 32)] / speedups[(16, 32)] < 1.10

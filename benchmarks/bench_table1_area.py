@@ -1,0 +1,31 @@
+"""Table I -- area of major components.
+
+Paper: "The primary area consumption comes from the on-chip memory
+buffers, while the Executor accounts for 40.0% of the total chip area,
+and the Speculator only accounts for 6.6%."
+"""
+
+import pytest
+
+from repro.experiments import area_table
+
+
+def test_area_breakdown(benchmark, report):
+    result = benchmark(area_table)
+    breakdown = result.breakdown
+    lines = [f"{'component':>30s} {'mm^2':>8s} {'share':>7s}"]
+    for name, area, frac in breakdown.as_rows():
+        lines.append(f"{name:>30s} {area:8.3f} {frac:6.1%}")
+    lines.append(
+        f"{'Executor total':>30s} {breakdown.executor_total:8.3f} "
+        f"{result.executor_share:6.1%}  (paper: 40.0%)"
+    )
+    lines.append(
+        f"{'Speculator total':>30s} {breakdown.speculator_total:8.3f} "
+        f"{result.speculator_share:6.1%}  (paper: 6.6%)"
+    )
+    report("\n".join(lines))
+
+    assert abs(result.executor_share - 0.40) < 0.03
+    assert abs(result.speculator_share - 0.066) < 0.015
+    assert breakdown.fraction(breakdown.glb) > 0.45

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+reports the measured rows/series next to the paper's values.  Results are
+printed to the terminal (bypassing capture) and mirrored under
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Emit a benchmark's result table to the terminal and a results file."""
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{request.node.name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{request.node.name}\n{'=' * 72}\n{text}")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2020)
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values."""
+    values = np.asarray(list(values), dtype=np.float64)
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,95 @@
+"""CNN end-to-end study: train -> dualize -> trace -> simulate -> compare.
+
+The full DUET flow on a compute-bound CNN workload (the scenario of paper
+Section IV-A):
+
+1. train a proxy CNN on the synthetic image task,
+2. distill approximate modules and tune switching thresholds,
+3. verify the accuracy/savings trade-off at the algorithm level,
+4. capture the *measured* switching maps as architecture workloads,
+5. simulate the DUET evaluation stages (OS/BOS/IOS/DUET) and the SOTA
+   comparison accelerators on those measured workloads.
+
+Run:  python examples/cnn_accelerator_study.py
+"""
+
+import numpy as np
+
+from repro.baselines import cnvlutin, eyeriss, predict_cnvlutin, snapea
+from repro.models.dualize import DualizedCNN
+from repro.models.layer_spec import ModelSpec
+from repro.models.proxies import (
+    evaluate_classifier,
+    proxy_alexnet,
+    train_classifier,
+)
+from repro.nn.data import GaussianMixtureImages
+from repro.sim import DuetAccelerator
+from repro.sim.config import STAGES
+from repro.workloads import trace_cnn_workloads
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    print("1) training a proxy CNN on synthetic images ...")
+    dataset = GaussianMixtureImages(num_classes=8, noise=0.6)
+    model = proxy_alexnet(num_classes=8, rng=rng)
+    train_classifier(model, dataset, steps=80, rng=rng)
+    base_acc = evaluate_classifier(model, dataset, samples=128)
+    print(f"   baseline top-1 accuracy: {base_acc:.3f}")
+
+    print("2) distilling approximate modules (Eq. 1) and tuning thresholds ...")
+    calibration, _ = dataset.sample(24, rng)
+    dual = DualizedCNN.build(model, calibration, reduction=0.12, rng=rng)
+    dual.set_thresholds_by_fraction(0.7, calibration)
+
+    print("3) algorithm-level accuracy/savings check ...")
+    images, labels = dataset.sample(128, rng)
+    acc, savings = dual.evaluate(images, labels)
+    print(
+        f"   dual-module top-1 {acc:.3f} (loss {base_acc - acc:+.3f}), "
+        f"FLOPs reduction {savings.flops_reduction:.2f}x, "
+        f"{savings.sensitive_fraction:.1%} outputs sensitive"
+    )
+
+    print("4) tracing measured switching maps into simulator workloads ...")
+    image, _ = dataset.sample(1, rng)
+    workloads = trace_cnn_workloads(dual, image[0])
+    model_spec = ModelSpec("proxy_cnn", "cnn", [w.spec for w in workloads])
+    for w in workloads:
+        print(
+            f"   {w.spec.name}: sensitive {w.sensitive_fraction:.2f}, "
+            f"input density {w.input_density:.2f}"
+        )
+
+    print("5) simulating the DUET evaluation stages on measured maps ...")
+    base_report = None
+    for stage in STAGES:
+        report = DuetAccelerator(stage=stage).run(model_spec, workloads=workloads)
+        if stage == "BASE":
+            base_report = report
+        print(
+            f"   {stage:5s}: {report.total_cycles:9,} cycles "
+            f"(speedup {report.speedup_over(report) if stage == 'BASE' else base_report.total_cycles / report.total_cycles:.2f}x, "
+            f"util {report.mean_utilization:.2f})"
+        )
+
+    print("6) comparing against SOTA accelerators on the same workloads ...")
+    duet = DuetAccelerator(stage="DUET").run(model_spec, workloads=workloads)
+    for name, acc_factory in (
+        ("eyeriss", eyeriss),
+        ("cnvlutin", cnvlutin),
+        ("snapea", snapea),
+        ("predict+cnvlutin", predict_cnvlutin),
+    ):
+        r = acc_factory().run(model_spec, workloads)
+        print(
+            f"   {name:>17s}: latency {r.total_cycles / duet.total_cycles:5.2f}x, "
+            f"energy {r.energy.total / duet.energy.total:5.2f}x, "
+            f"EDP {r.edp() / duet.edp():5.2f}x  (normalised to DUET)"
+        )
+
+
+if __name__ == "__main__":
+    main()

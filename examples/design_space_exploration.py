@@ -1,0 +1,81 @@
+"""Design-space exploration: Speculator sizing, precision, area, energy.
+
+Reproduces the paper's Section V-F methodology as a runnable study:
+
+1. Speculator systolic-array size sweep (Fig. 13a) -- find the smallest
+   array whose latency hides behind the Executor,
+2. Speculator precision sweep (Fig. 13b) -- INT2/INT4/INT8 accuracy,
+3. the resulting area (Table I) and energy breakdowns of the chosen point.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.models import get_model_spec
+from repro.models.dualize import DualizedCNN
+from repro.models.proxies import evaluate_classifier, proxy_alexnet, train_classifier
+from repro.nn.data import GaussianMixtureImages
+from repro.sim import AreaModel, DuetAccelerator
+from repro.sim.config import DuetConfig, stage_config
+from repro.workloads import cnn_workloads
+
+
+def speculator_size_sweep() -> None:
+    print("1) Speculator size DSE (Fig. 13a): speedup on AlexNet")
+    spec = get_model_spec("alexnet")
+    wl = cnn_workloads(spec)
+    base = DuetAccelerator(stage="BASE").run(spec, workloads=wl)
+    for rows, cols in ((8, 8), (8, 16), (16, 16), (16, 32), (32, 32)):
+        cfg = stage_config("DUET", DuetConfig().scaled_speculator(rows, cols))
+        duet = DuetAccelerator(config=cfg).run(spec, workloads=wl)
+        hidden = 1 - sum(
+            layer.exposed_speculation_cycles for layer in duet.layers
+        ) / max(1, duet.speculator_cycles)
+        marker = "  <- paper's choice" if (rows, cols) == (16, 32) else ""
+        print(
+            f"   {rows:2d}x{cols:<2d}: speedup {duet.speedup_over(base):.2f}x, "
+            f"speculation hidden {hidden:.0%}{marker}"
+        )
+
+
+def precision_sweep() -> None:
+    print("2) Speculator precision DSE (Fig. 13b): proxy-CNN accuracy")
+    rng = np.random.default_rng(13)
+    ds = GaussianMixtureImages(num_classes=8, noise=0.6)
+    model = proxy_alexnet(num_classes=8, rng=rng)
+    train_classifier(model, ds, steps=80, rng=rng)
+    base = evaluate_classifier(model, ds, samples=96, rng=np.random.default_rng(7))
+    images, labels = ds.sample(96, np.random.default_rng(7))
+    for bits in (2, 4, 8):
+        cal, _ = ds.sample(24, np.random.default_rng(13))
+        dual = DualizedCNN.build(
+            model, cal, reduction=0.12, weight_bits=bits, input_bits=bits,
+            rng=np.random.default_rng(13),
+        )
+        dual.set_thresholds_by_fraction(0.7, cal)
+        acc, _ = dual.evaluate(images, labels)
+        print(f"   INT{bits}: top-1 {acc:.3f} (base {base:.3f})")
+
+
+def chosen_point_breakdowns() -> None:
+    print("3) Chosen design point: area (Table I) and energy breakdowns")
+    area = AreaModel().breakdown()
+    for name, mm2, frac in area.as_rows():
+        print(f"   {name:>30s} {mm2:7.3f} mm^2 {frac:6.1%}")
+    print(
+        f"   Executor {area.fraction(area.executor_total):.1%} (paper 40.0%), "
+        f"Speculator {area.fraction(area.speculator_total):.1%} (paper 6.6%)"
+    )
+    spec = get_model_spec("alexnet")
+    duet = DuetAccelerator(stage="DUET").run(spec)
+    total = duet.energy.total
+    print("   AlexNet DUET energy by component:")
+    for component, value in duet.energy.as_dict().items():
+        print(f"   {component:>20s}: {value / total:6.1%}")
+
+
+if __name__ == "__main__":
+    speculator_size_sweep()
+    precision_sweep()
+    chosen_point_breakdowns()

@@ -1,0 +1,83 @@
+"""Quickstart: dual-module processing in five minutes.
+
+Walks the paper's Fig. 3 pipeline on a single feed-forward layer --
+distill an approximate module, generate switching maps, mix outputs --
+then runs AlexNet through the DUET accelerator simulator and prints the
+headline speedup/energy numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ApproximateLinear,
+    DualModuleLinear,
+    distill_linear,
+)
+from repro.models import get_model_spec
+from repro.nn import Linear
+from repro.sim import DuetAccelerator
+
+
+def algorithm_demo() -> None:
+    """One dual-module FF layer, exactly as in paper Section II."""
+    print("=== Algorithm: dual-module processing of one FF layer ===")
+    rng = np.random.default_rng(0)
+
+    # the "accurate module": a pre-trained 512 -> 256 layer
+    accurate = Linear(512, 256, rng=rng)
+
+    # the "approximate module": ternary projection to k=64 + INT4 weights
+    approx = ApproximateLinear(512, 256, reduced_features=64, rng=rng)
+
+    # offline distillation (Eq. 1) on calibration inputs
+    calibration = rng.normal(size=(2000, 512))
+    rmse = distill_linear(accurate, approx, calibration)
+    print(f"distilled approximate module: fit RMSE = {rmse:.3f}")
+    print(
+        f"parameters: accurate {accurate.num_parameters():,} vs "
+        f"approximate {approx.parameter_count():,} "
+        f"({accurate.num_parameters() / approx.parameter_count():.1f}x fewer)"
+    )
+
+    # online dual-module processing (Fig. 3) with the ReLU switching rule
+    dual = DualModuleLinear(accurate, approx, activation="relu", threshold=0.0)
+    inputs = rng.normal(size=(16, 512))
+    outputs, report = dual(inputs)
+    s = report.savings
+    print(f"switching map marks {s.sensitive_fraction:.1%} of outputs sensitive")
+    print(
+        f"MACs: dense {s.dense_macs:,} -> executed {s.executed_macs:,} "
+        f"(+{s.speculation_macs:,} INT4 speculation MACs)"
+    )
+    print(f"FLOPs reduction: {s.flops_reduction:.2f}x")
+    # sensitive outputs are bit-exact with the accurate layer
+    reference = np.maximum(inputs @ accurate.weight.data.T + accurate.bias.data, 0)
+    mask = report.switching_map.astype(bool)
+    assert np.allclose(outputs[mask], reference[mask])
+    print("sensitive outputs match the accurate layer exactly\n")
+
+
+def architecture_demo() -> None:
+    """AlexNet on the DUET accelerator vs the single-module baseline."""
+    print("=== Architecture: AlexNet on the DUET simulator ===")
+    spec = get_model_spec("alexnet")
+    duet = DuetAccelerator(stage="DUET").run(spec)
+    base = DuetAccelerator(stage="BASE").run(spec)
+    print(f"single-module baseline latency: {base.latency_ms:.3f} ms")
+    print(f"DUET latency:                   {duet.latency_ms:.3f} ms")
+    print(f"speedup:        {duet.speedup_over(base):.2f}x  (paper avg: 2.24x)")
+    print(f"energy saving:  {duet.energy_saving_over(base):.2f}x  (paper avg: 1.95x)")
+    print(f"mean Executor MAC utilisation:  {duet.mean_utilization:.1%}")
+    area = DuetAccelerator().area()
+    print(
+        f"area: {area.total:.2f} mm^2, Executor "
+        f"{area.fraction(area.executor_total):.1%}, Speculator "
+        f"{area.fraction(area.speculator_total):.1%}  (paper: 40.0% / 6.6%)"
+    )
+
+
+if __name__ == "__main__":
+    algorithm_demo()
+    architecture_demo()

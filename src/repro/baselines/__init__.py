@@ -1,0 +1,43 @@
+"""Comparison accelerators (paper Section V-E, Fig. 11b).
+
+- :mod:`repro.baselines.single_module` -- DUET's Executor alone (the
+  Fig. 11a baseline).
+- :mod:`repro.baselines.eyeriss` -- dense execution with power gating.
+- :mod:`repro.baselines.cnvlutin` -- input-sparsity skipping.
+- :mod:`repro.baselines.snapea` -- output early termination.
+- :mod:`repro.baselines.predict` -- coupled output prediction, and the
+  Predict+Cnvlutin combination.
+
+All baselines are iso-MAC and iso-technology with DUET: they share the PE
+array geometry, workloads, and energy constants, differing only in the
+capabilities their :class:`~repro.baselines.base.BaselineCharacter`
+grants.
+"""
+
+from repro.baselines.base import BaselineCharacter, BaselineCnnAccelerator
+from repro.baselines.cnvlutin import CNVLUTIN, cnvlutin
+from repro.baselines.eyeriss import EYERISS, eyeriss
+from repro.baselines.predict import (
+    PREDICT,
+    PREDICT_CNVLUTIN,
+    predict,
+    predict_cnvlutin,
+)
+from repro.baselines.single_module import single_module
+from repro.baselines.snapea import SNAPEA, snapea
+
+__all__ = [
+    "BaselineCharacter",
+    "BaselineCnnAccelerator",
+    "eyeriss",
+    "cnvlutin",
+    "snapea",
+    "predict",
+    "predict_cnvlutin",
+    "single_module",
+    "EYERISS",
+    "CNVLUTIN",
+    "SNAPEA",
+    "PREDICT",
+    "PREDICT_CNVLUTIN",
+]

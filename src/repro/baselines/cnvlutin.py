@@ -1,0 +1,32 @@
+"""Cnvlutin baseline (Albericio et al., ISCA 2016) -- input-sparsity skipping.
+
+Cnvlutin skips zero-input-activation MACs in time but computes every
+output fully.  Its irregular input sparsity causes lane imbalance, and the
+design uses a single level of on-chip buffering without local data reuse,
+costing it ~1.77x DUET's energy in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineCharacter, BaselineCnnAccelerator
+from repro.sim.config import DuetConfig
+from repro.sim.energy import EnergyModel
+
+__all__ = ["CNVLUTIN", "cnvlutin"]
+
+#: Cnvlutin character: input skipping, no output handling, no local reuse.
+CNVLUTIN = BaselineCharacter(
+    name="cnvlutin",
+    output_mode="none",
+    input_skip=True,
+    local_reuse=False,
+    tile_positions=8,
+    glb_accesses_per_mac=1.0,
+)
+
+
+def cnvlutin(
+    config: DuetConfig | None = None, energy_model: EnergyModel | None = None
+) -> BaselineCnnAccelerator:
+    """Build the Cnvlutin comparison accelerator."""
+    return BaselineCnnAccelerator(CNVLUTIN, config, energy_model)

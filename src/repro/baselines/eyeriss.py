@@ -1,0 +1,33 @@
+"""Eyeriss baseline (Chen et al., ISCA 2016) -- dense with power gating.
+
+"Eyeriss equals a dense baseline as it only supports power-gating to save
+energy but [no] computation skipping to improve performance; thus, it has
+the worst latency among others" (paper Section V-E).  It shares DUET's
+two-level on-chip hierarchy with local data reuse, which is why its
+*energy* stays competitive with the skipping-but-reuse-free designs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineCharacter, BaselineCnnAccelerator
+from repro.sim.config import DuetConfig
+from repro.sim.energy import EnergyModel
+
+__all__ = ["EYERISS", "eyeriss"]
+
+#: Eyeriss character: dense execution, zero-input power gating, local reuse.
+EYERISS = BaselineCharacter(
+    name="eyeriss",
+    output_mode="none",
+    input_skip=False,
+    input_gate=True,
+    local_reuse=True,
+    tile_positions=8,
+)
+
+
+def eyeriss(
+    config: DuetConfig | None = None, energy_model: EnergyModel | None = None
+) -> BaselineCnnAccelerator:
+    """Build the Eyeriss comparison accelerator."""
+    return BaselineCnnAccelerator(EYERISS, config, energy_model)

@@ -1,0 +1,58 @@
+"""Predict baseline (Zhu et al.) -- coupled output-sparsity prediction.
+
+Predict runs a lightweight prediction pass as "indeed part of the
+execution process" for *every* output, then completes only the
+predicted-positive ones.  To even out workloads it enlarges the tile of
+each computation step (costing buffer capacity and memory footprint)
+instead of reordering; it also lacks local data reuse.  The paper reports
+2.21x DUET's energy and EDP, with latency closer to DUET's.
+
+``PREDICT_CNVLUTIN`` combines Predict's output prediction with
+Cnvlutin-style input skipping -- the strongest coupled-design point the
+paper compares against ("Predict+Cnvlutin can achieve comparable
+performance [to] DUET", but 1.81x energy and 2.03x EDP).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineCharacter, BaselineCnnAccelerator
+from repro.sim.config import DuetConfig
+from repro.sim.energy import EnergyModel
+
+__all__ = ["PREDICT", "PREDICT_CNVLUTIN", "predict", "predict_cnvlutin"]
+
+#: Predict character: per-output prediction overhead, big balancing tiles.
+PREDICT = BaselineCharacter(
+    name="predict",
+    output_mode="predict",
+    input_skip=False,
+    local_reuse=False,
+    tile_positions=64,
+    predict_overhead=0.08,
+    glb_accesses_per_mac=1.2,
+)
+
+#: Predict + Cnvlutin: output prediction plus input skipping.
+PREDICT_CNVLUTIN = BaselineCharacter(
+    name="predict+cnvlutin",
+    output_mode="predict",
+    input_skip=True,
+    local_reuse=False,
+    tile_positions=64,
+    predict_overhead=0.08,
+    glb_accesses_per_mac=2.1,
+)
+
+
+def predict(
+    config: DuetConfig | None = None, energy_model: EnergyModel | None = None
+) -> BaselineCnnAccelerator:
+    """Build the Predict comparison accelerator."""
+    return BaselineCnnAccelerator(PREDICT, config, energy_model)
+
+
+def predict_cnvlutin(
+    config: DuetConfig | None = None, energy_model: EnergyModel | None = None
+) -> BaselineCnnAccelerator:
+    """Build the Predict+Cnvlutin comparison accelerator."""
+    return BaselineCnnAccelerator(PREDICT_CNVLUTIN, config, energy_model)

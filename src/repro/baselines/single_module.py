@@ -1,0 +1,29 @@
+"""Single-module baseline: DUET's own Executor with no Speculator.
+
+This is the paper's primary comparison point for Fig. 11(a): the same
+16x16 PE array, memory hierarchy and dataflow, but no dual-module
+processing -- every output is computed accurately and every weight row is
+fetched.  It is exactly the ``BASE`` stage of the DUET simulator; this
+module gives it a first-class name.
+"""
+
+from __future__ import annotations
+
+from repro.sim.accelerator import DuetAccelerator
+from repro.sim.config import DuetConfig, stage_config
+from repro.sim.energy import EnergyModel
+from repro.workloads.sparsity import SparsityModel
+
+__all__ = ["single_module"]
+
+
+def single_module(
+    config: DuetConfig | None = None,
+    energy_model: EnergyModel | None = None,
+    sparsity: SparsityModel | None = None,
+) -> DuetAccelerator:
+    """Build the single-module (Executor-only) baseline accelerator."""
+    base_config = stage_config("BASE", config)
+    return DuetAccelerator(
+        config=base_config, energy_model=energy_model, sparsity=sparsity
+    )

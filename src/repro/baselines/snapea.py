@@ -1,0 +1,37 @@
+"""SnaPEA baseline (Akhlaghi et al., ISCA 2018) -- output early termination.
+
+SnaPEA couples prediction with execution: MACs accumulate in sign-ordered
+fashion and stop early once a ReLU output is provably negative.  The
+insensitive outputs therefore still cost a *fraction* of their receptive
+field (unlike DUET, where the Speculator's decision lets the Executor skip
+them entirely), termination times are irregular (workload imbalance), and
+the design has no local data reuse -- the paper reports 2.21x DUET's
+energy and 3.98x its EDP.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineCharacter, BaselineCnnAccelerator
+from repro.sim.config import DuetConfig
+from repro.sim.energy import EnergyModel
+
+__all__ = ["SNAPEA", "snapea"]
+
+#: SnaPEA character: aggressive early termination, async-PE balancing
+#: (modelled as coarse synchronisation granularity).
+SNAPEA = BaselineCharacter(
+    name="snapea",
+    output_mode="early_term",
+    input_skip=False,
+    local_reuse=False,
+    tile_positions=64,
+    early_term_fraction=0.15,
+    glb_accesses_per_mac=1.15,
+)
+
+
+def snapea(
+    config: DuetConfig | None = None, energy_model: EnergyModel | None = None
+) -> BaselineCnnAccelerator:
+    """Build the SnaPEA comparison accelerator."""
+    return BaselineCnnAccelerator(SNAPEA, config, energy_model)

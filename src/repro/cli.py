@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-models``           registered benchmark models.
+- ``simulate``              run one model on one configuration.
+- ``stages``                the OS/BOS/IOS/DUET technique breakdown.
+- ``compare``               DUET vs the SOTA comparison accelerators.
+- ``area``                  the Table-I area breakdown.
+
+Every command prints a plain-text table; all simulations are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
+from repro.models import MODEL_REGISTRY, get_model_spec
+from repro.sim import AreaModel, DuetAccelerator
+from repro.sim.config import STAGES
+from repro.workloads import SparsityModel, cnn_workloads, rnn_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DUET dual-module accelerator simulator (MICRO 2020 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list registered benchmark models")
+
+    p_sim = sub.add_parser("simulate", help="simulate one model")
+    p_sim.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    p_sim.add_argument("--stage", default="DUET", choices=STAGES)
+    p_sim.add_argument(
+        "--include-fc", action="store_true",
+        help="include FC classifier layers (CNN models)",
+    )
+    p_sim.add_argument("--seed", type=int, default=0, help="sparsity seed")
+
+    p_stages = sub.add_parser("stages", help="OS/BOS/IOS/DUET breakdown")
+    p_stages.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    p_stages.add_argument("--seed", type=int, default=0)
+
+    p_cmp = sub.add_parser("compare", help="DUET vs SOTA accelerators")
+    p_cmp.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("area", help="Table-I area breakdown")
+    return parser
+
+
+def _workloads_for(spec, seed: int, include_fc: bool = False):
+    sparsity = SparsityModel(seed=seed)
+    if spec.domain == "cnn":
+        return cnn_workloads(spec, sparsity, include_fc=include_fc)
+    return rnn_workloads(spec, sparsity)
+
+
+def _cmd_list_models(_args, out) -> int:
+    for name in sorted(MODEL_REGISTRY):
+        spec = get_model_spec(name)
+        out.write(
+            f"{name:10s} {spec.domain:4s} {len(spec.layers):3d} layers "
+            f"{spec.total_macs / 1e9:6.2f} GMACs "
+            f"{spec.total_weight_elements / 1e6:7.1f} M weights\n"
+        )
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    spec = get_model_spec(args.model)
+    workloads = _workloads_for(spec, args.seed, args.include_fc)
+    report = DuetAccelerator(stage=args.stage).run(spec, workloads=workloads)
+    out.write(f"{args.model} on {args.stage}:\n")
+    out.write(
+        f"{'layer':>18s} {'cycles':>12s} {'exec':>10s} {'spec':>8s} "
+        f"{'mem':>10s} {'util':>5s}\n"
+    )
+    for layer in report.layers:
+        out.write(
+            f"{layer.name:>18s} {layer.total_cycles:12,} "
+            f"{layer.executor_cycles:10,} {layer.speculator_cycles:8,} "
+            f"{layer.memory_cycles:10,} {layer.utilization:5.2f}\n"
+        )
+    out.write(
+        f"total: {report.total_cycles:,} cycles = {report.latency_ms:.3f} ms, "
+        f"energy {report.energy.total / 1e9:.3f} (norm. units)\n"
+    )
+    return 0
+
+
+def _cmd_stages(args, out) -> int:
+    spec = get_model_spec(args.model)
+    workloads = _workloads_for(spec, args.seed)
+    base = None
+    out.write(f"{args.model}: technique breakdown (paper Fig. 12a)\n")
+    for stage in STAGES:
+        report = DuetAccelerator(stage=stage).run(spec, workloads=workloads)
+        if stage == "BASE":
+            base = report
+        out.write(
+            f"  {stage:5s} {report.latency_ms:8.3f} ms  "
+            f"speedup {report.speedup_over(report) if base is None else base.total_cycles / report.total_cycles:5.2f}x  "
+            f"util {report.mean_utilization:5.2f}\n"
+        )
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    spec = get_model_spec(args.model)
+    if spec.domain != "cnn":
+        out.write("compare supports CNN models only (Fig. 11b is CNN-only)\n")
+        return 2
+    workloads = _workloads_for(spec, args.seed)
+    duet = DuetAccelerator(stage="DUET").run(spec, workloads=workloads)
+    out.write(f"{args.model}: normalised to DUET = 1.0 (paper Fig. 11b)\n")
+    out.write(f"{'design':>18s} {'latency':>8s} {'energy':>8s} {'EDP':>8s}\n")
+    for name, factory in (
+        ("eyeriss", eyeriss),
+        ("cnvlutin", cnvlutin),
+        ("snapea", snapea),
+        ("predict", predict),
+        ("predict+cnvlutin", predict_cnvlutin),
+    ):
+        r = factory().run(spec, workloads)
+        out.write(
+            f"{name:>18s} {r.total_cycles / duet.total_cycles:7.2f}x "
+            f"{r.energy.total / duet.energy.total:7.2f}x "
+            f"{r.edp() / duet.edp():7.2f}x\n"
+        )
+    return 0
+
+
+def _cmd_area(_args, out) -> int:
+    breakdown = AreaModel().breakdown()
+    out.write("DUET area breakdown (paper Table I)\n")
+    for name, mm2, frac in breakdown.as_rows():
+        out.write(f"{name:>30s} {mm2:8.3f} mm^2 {frac:6.1%}\n")
+    out.write(
+        f"{'Executor total':>30s} {breakdown.executor_total:8.3f} mm^2 "
+        f"{breakdown.fraction(breakdown.executor_total):6.1%}\n"
+    )
+    out.write(
+        f"{'Speculator total':>30s} {breakdown.speculator_total:8.3f} mm^2 "
+        f"{breakdown.fraction(breakdown.speculator_total):6.1%}\n"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "list-models": _cmd_list_models,
+    "simulate": _cmd_simulate,
+    "stages": _cmd_stages,
+    "compare": _cmd_compare,
+    "area": _cmd_area,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Dual-module processing -- the paper's primary contribution.
+
+Given a pre-trained DNN layer (the *accurate module*), DUET learns a
+lightweight *approximate module* (quantized + dimension-reduced, "QDR")
+offline via knowledge distillation, then at inference time:
+
+1. runs the approximate module on (quantized) input activations,
+2. applies threshold-based neuron-wise *dynamic switching* (Eq. 3) to
+   decide which output activations fall in the insensitive region of the
+   nonlinearity,
+3. runs the accurate module only for the sensitive activations, and
+4. mixes the two results (Eq. 2): ``y = y_acc * m + y_approx * (1 - m)``.
+
+Modules:
+
+- :mod:`repro.core.projection` -- ternary random projection (Achlioptas
+  distribution), applied with additions/accumulations only.
+- :mod:`repro.core.switching`  -- switching-map rules for ReLU and
+  sigmoid/tanh, map correction and IMap derivation.
+- :mod:`repro.core.approx`     -- QDR approximate modules for Linear,
+  Conv2d, LSTM and GRU cells.
+- :mod:`repro.core.distill`    -- offline distillation (Eq. 1), both
+  closed-form ridge regression and SGD.
+- :mod:`repro.core.dual`       -- online dual-module layers with full
+  FLOPs / memory-access accounting.
+- :mod:`repro.core.thresholds` -- per-layer threshold tuning under a
+  quality budget.
+- :mod:`repro.core.stats`      -- insensitive-region statistics (Fig. 2)
+  and savings accounting (Fig. 10).
+"""
+
+from repro.core.approx import (
+    ApproximateConv2d,
+    ApproximateGRUCell,
+    ApproximateLinear,
+    ApproximateLSTMCell,
+)
+from repro.core.distill import distill_linear, distill_conv2d, distill_lstm_cell, distill_gru_cell
+from repro.core.dual import (
+    DualModuleConv2d,
+    DualModuleGRUCell,
+    DualModuleLinear,
+    DualModuleLSTMCell,
+    DualModuleReport,
+)
+from repro.core.projection import TernaryRandomProjection
+from repro.core.stats import (
+    LayerSavings,
+    insensitive_fraction,
+    relu_insensitive_fraction,
+    saturation_insensitive_fraction,
+)
+from repro.core.switching import (
+    correct_omap_after_relu,
+    mix_outputs,
+    switching_map,
+)
+from repro.core.thresholds import (
+    ThresholdTuner,
+    allocate_layer_fractions,
+    tune_dualized_classifier,
+    tune_threshold_for_fraction,
+)
+
+__all__ = [
+    "TernaryRandomProjection",
+    "switching_map",
+    "mix_outputs",
+    "correct_omap_after_relu",
+    "ApproximateLinear",
+    "ApproximateConv2d",
+    "ApproximateLSTMCell",
+    "ApproximateGRUCell",
+    "distill_linear",
+    "distill_conv2d",
+    "distill_lstm_cell",
+    "distill_gru_cell",
+    "DualModuleLinear",
+    "DualModuleConv2d",
+    "DualModuleLSTMCell",
+    "DualModuleGRUCell",
+    "DualModuleReport",
+    "ThresholdTuner",
+    "tune_threshold_for_fraction",
+    "tune_dualized_classifier",
+    "allocate_layer_fractions",
+    "LayerSavings",
+    "insensitive_fraction",
+    "relu_insensitive_fraction",
+    "saturation_insensitive_fraction",
+]

@@ -1,0 +1,493 @@
+"""Online dual-module layers: speculate, switch, execute, mix.
+
+Each ``DualModule*`` pairs an accurate layer from :mod:`repro.nn` with a
+distilled approximate module from :mod:`repro.core.approx` and executes the
+paper's online procedure (Fig. 3):
+
+1. run the approximate module on the (quantized) input,
+2. generate the switching map ``m`` (Eq. 3),
+3. run the accurate module only where ``m == 1``,
+4. assemble the final output (Eq. 2) and apply the nonlinearity.
+
+Output semantics follow the paper's hardware:
+
+- ReLU layers (CNN path): insensitive outputs are *set to zero* -- the
+  approximate values are used only for the switching decision, and the
+  resulting zeros make the corrected OMap double as the next layer's IMap
+  (Section III-C).
+- sigmoid/tanh layers (RNN path): insensitive outputs keep the
+  *dequantized approximate activations* (Section IV-B), which is why the
+  Speculator has a dequantizer and stores approximate results to the GLB
+  for RNNs only.
+
+Every forward also returns a :class:`DualModuleReport` with the switching
+maps and a :class:`~repro.core.stats.LayerSavings` account of MACs and
+weight reads, which the architecture simulator consumes as its workload
+description.
+
+MAC/weight-read accounting treats each batch row independently (the
+paper's RNN evaluation uses batch size one; for CNNs the counts are summed
+over the batch, matching per-image execution on the accelerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.approx import (
+    ApproximateConv2d,
+    ApproximateGRUCell,
+    ApproximateLinear,
+    ApproximateLSTMCell,
+)
+from repro.core.stats import LayerSavings
+from repro.core.switching import (
+    correct_omap_after_relu,
+    mix_outputs,
+    switching_map,
+)
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.recurrent import GRUCell, LSTMCell
+
+__all__ = [
+    "DualModuleReport",
+    "DualModuleLinear",
+    "DualModuleConv2d",
+    "DualModuleLSTMCell",
+    "DualModuleGRUCell",
+]
+
+
+@dataclass
+class DualModuleReport:
+    """Per-forward record of switching decisions and costs.
+
+    Attributes:
+        switching_map: the OMap ``m`` (1 = computed by the Executor).  For
+            recurrent cells this is the stacked all-gates map.
+        corrected_map: ReLU layers only -- the OMap after the paper's
+            1-to-0 correction step; reusable as the next layer's IMap.
+        savings: MAC / weight-read accounting for this forward.
+        gate_maps: recurrent cells only -- per-gate switching maps.
+    """
+
+    switching_map: np.ndarray
+    savings: LayerSavings
+    corrected_map: np.ndarray | None = None
+    gate_maps: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _resolve_gate_thresholds(
+    threshold: float | dict[str, float], gate_names: tuple[str, ...]
+) -> dict[str, float]:
+    """Expand a scalar threshold to a per-gate dict, validating dict keys."""
+    if isinstance(threshold, dict):
+        missing = set(gate_names) - set(threshold)
+        if missing:
+            raise ValueError(f"missing thresholds for gates: {sorted(missing)}")
+        return {g: float(threshold[g]) for g in gate_names}
+    return {g: float(threshold) for g in gate_names}
+
+
+class DualModuleLinear:
+    """Dual-module feed-forward layer (the paper's running FF example).
+
+    Args:
+        accurate: the pre-trained ``Linear`` layer (teacher / Executor side).
+        approx: the distilled :class:`ApproximateLinear` (Speculator side).
+        activation: ``relu``, ``sigmoid`` or ``tanh``; selects both the
+            nonlinearity and the switching rule.
+        threshold: the tuned switching threshold ``theta``.
+    """
+
+    def __init__(
+        self,
+        accurate: Linear,
+        approx: ApproximateLinear,
+        activation: str,
+        threshold: float,
+    ):
+        if accurate.in_features != approx.in_features:
+            raise ValueError("accurate/approx input dimensions disagree")
+        if accurate.out_features != approx.out_features:
+            raise ValueError("accurate/approx output dimensions disagree")
+        self.accurate = accurate
+        self.approx = approx
+        self.activation = activation
+        self.threshold = float(threshold)
+        self._act = F.activation_by_name(activation)
+
+    def forward(
+        self, x: np.ndarray, imap: np.ndarray | None = None
+    ) -> tuple[np.ndarray, DualModuleReport]:
+        """Run dual-module processing on a batch.
+
+        Args:
+            x: inputs of shape ``(batch, in_features)``.
+            imap: optional input sparsity map of the same shape (1 =
+                nonzero); reduces the executed-MAC account per the paper's
+                integrated input+output switching (IOS).
+
+        Returns:
+            ``(activated_output, report)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        batch = x.shape[0]
+        d, n = self.accurate.in_features, self.accurate.out_features
+
+        y_approx = self.approx.forward(x)
+        omap = switching_map(y_approx, self.activation, self.threshold)
+
+        y_acc = x @ self.accurate.weight.data.T
+        if self.accurate.bias is not None:
+            y_acc = y_acc + self.accurate.bias.data
+
+        if self.activation == "relu":
+            mixed = np.where(omap.astype(bool), y_acc, 0.0)
+            out = F.relu(mixed)
+            corrected = correct_omap_after_relu(omap, out)
+        else:
+            mixed = mix_outputs(y_acc, y_approx, omap)
+            out = self._act(mixed)
+            corrected = None
+
+        sensitive = int(omap.sum())
+        if imap is not None:
+            nnz_per_row = np.asarray(imap).reshape(batch, d).sum(axis=1)
+            executed = int((omap.sum(axis=1) * nnz_per_row).sum())
+        else:
+            executed = sensitive * d
+        savings = LayerSavings(
+            dense_macs=batch * n * d,
+            executed_macs=executed,
+            speculation_macs=batch * self.approx.macs_per_vector(),
+            speculation_additions=batch * self.approx.additions_per_vector(),
+            dense_weight_reads=batch * n * d,
+            weight_reads=sensitive * d,
+            speculation_weight_reads=batch * self.approx.weight.size,
+            outputs_total=batch * n,
+            outputs_sensitive=sensitive,
+        )
+        return out, DualModuleReport(omap, savings, corrected_map=corrected)
+
+    __call__ = forward
+
+    def __repr__(self) -> str:
+        return (
+            f"DualModuleLinear({self.accurate!r}, activation={self.activation!r}, "
+            f"theta={self.threshold})"
+        )
+
+
+class DualModuleConv2d:
+    """Dual-module convolution layer via the im2col lowering (CNN path).
+
+    Insensitive outputs are zeroed (ReLU semantics), the OMap is corrected
+    after ReLU, and the corrected map is returned so the caller can feed it
+    to the next layer as its IMap -- the paper's "pay once, use twice".
+    """
+
+    def __init__(
+        self,
+        accurate: Conv2d,
+        approx: ApproximateConv2d,
+        threshold: float,
+    ):
+        if accurate.kernel_size != approx.kernel_size:
+            raise ValueError("accurate/approx kernel sizes disagree")
+        if accurate.stride != approx.stride or accurate.padding != approx.padding:
+            raise ValueError("accurate/approx geometry disagrees")
+        if accurate.out_channels != approx.out_channels:
+            raise ValueError("accurate/approx channel counts disagree")
+        self.accurate = accurate
+        self.approx = approx
+        self.threshold = float(threshold)
+
+    def forward(
+        self, x: np.ndarray, imap: np.ndarray | None = None
+    ) -> tuple[np.ndarray, DualModuleReport]:
+        """Run dual-module processing on a batch of images.
+
+        Args:
+            x: inputs of shape ``(N, C, H, W)``.
+            imap: optional input sparsity map of the same shape.
+
+        Returns:
+            ``(activated_output, report)``; ``report.corrected_map`` is the
+            next layer's IMap.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        n_batch, c_in, _, _ = x.shape
+        kh, kw = self.accurate.kernel_size
+        receptive = c_in * kh * kw
+
+        y_approx = self.approx.forward(x)
+        omap = switching_map(y_approx, "relu", self.threshold)
+
+        y_acc = self.accurate(x)
+        mixed = np.where(omap.astype(bool), y_acc, 0.0)
+        out = F.relu(mixed)
+        corrected = correct_omap_after_relu(omap, out)
+
+        sensitive = int(omap.sum())
+        n_out = out.size
+        if imap is not None:
+            imap_cols = F.im2col(
+                np.asarray(imap, dtype=np.float64),
+                self.accurate.kernel_size,
+                self.accurate.stride,
+                self.accurate.padding,
+            )
+            # effective receptive-field size per output spatial position
+            effective = imap_cols.sum(axis=1)  # (N * H' * W',)
+            out_h, out_w = out.shape[2], out.shape[3]
+            effective = effective.reshape(n_batch, out_h, out_w)
+            executed = int(
+                (omap * effective[:, None, :, :]).sum()
+            )
+        else:
+            executed = sensitive * receptive
+        savings = LayerSavings(
+            dense_macs=n_out * receptive,
+            executed_macs=executed,
+            speculation_macs=(n_out // self.accurate.out_channels)
+            * self.accurate.out_channels
+            * self.approx.reduced_features,
+            speculation_additions=(n_out // self.accurate.out_channels)
+            * self.approx.inner.additions_per_vector(),
+            dense_weight_reads=n_out * receptive,
+            weight_reads=sensitive * receptive,
+            speculation_weight_reads=n_batch * self.approx.inner.weight.size,
+            outputs_total=n_out,
+            outputs_sensitive=sensitive,
+        )
+        return out, DualModuleReport(omap, savings, corrected_map=corrected)
+
+    __call__ = forward
+
+    def __repr__(self) -> str:
+        return f"DualModuleConv2d({self.accurate!r}, theta={self.threshold})"
+
+
+#: Gate activations used by the switching rules, in stacking order.
+_LSTM_GATES: tuple[tuple[str, str], ...] = (
+    ("i", "sigmoid"),
+    ("f", "sigmoid"),
+    ("g", "tanh"),
+    ("o", "sigmoid"),
+)
+_GRU_GATES: tuple[tuple[str, str], ...] = (
+    ("r", "sigmoid"),
+    ("z", "sigmoid"),
+    ("n", "tanh"),
+)
+
+
+class DualModuleLSTMCell:
+    """Dual-module LSTM cell with per-gate speculation (RNN path).
+
+    For each of the four gates the Speculator produces approximate
+    pre-activations; insensitive neurons keep the approximate *activated*
+    value while sensitive neurons are recomputed by the Executor.  Weight
+    rows of both ``w_ih`` and ``w_hh`` are only "fetched" for sensitive
+    neurons, which is the memory-access saving of Section IV-B.
+
+    Args:
+        accurate: the pre-trained :class:`~repro.nn.recurrent.LSTMCell`.
+        approx: the distilled :class:`ApproximateLSTMCell`.
+        threshold: scalar or per-gate dict ``{"i","f","g","o"}``.
+    """
+
+    GATES = _LSTM_GATES
+
+    def __init__(
+        self,
+        accurate: LSTMCell,
+        approx: ApproximateLSTMCell,
+        threshold: float | dict[str, float],
+    ):
+        if accurate.input_size != approx.input_size:
+            raise ValueError("accurate/approx input sizes disagree")
+        if accurate.hidden_size != approx.hidden_size:
+            raise ValueError("accurate/approx hidden sizes disagree")
+        self.accurate = accurate
+        self.approx = approx
+        self.thresholds = _resolve_gate_thresholds(
+            threshold, tuple(g for g, _ in self.GATES)
+        )
+
+    def forward(
+        self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[tuple[np.ndarray, np.ndarray], DualModuleReport]:
+        """Run one dual-module LSTM step.
+
+        Args:
+            x: input of shape ``(batch, input_size)``.
+            state: ``(h, c)`` from the previous step.
+
+        Returns:
+            ``((h_next, c_next), report)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        h_prev, c_prev = state
+        batch = x.shape[0]
+        hs = self.accurate.hidden_size
+        d_in, d_hid = self.accurate.input_size, hs
+
+        pre_approx = self.approx.pre_activations(x, h_prev, quantized=True)
+        pre_acc = (
+            x @ self.accurate.w_ih.data.T
+            + h_prev @ self.accurate.w_hh.data.T
+            + self.accurate.b.data
+        )
+
+        gate_maps: dict[str, np.ndarray] = {}
+        gate_values: dict[str, np.ndarray] = {}
+        for idx, (gate, act_name) in enumerate(self.GATES):
+            sl = slice(idx * hs, (idx + 1) * hs)
+            gmap = switching_map(pre_approx[:, sl], act_name, self.thresholds[gate])
+            mixed = mix_outputs(pre_acc[:, sl], pre_approx[:, sl], gmap)
+            gate_values[gate] = F.activation_by_name(act_name)(mixed)
+            gate_maps[gate] = gmap
+
+        c_next = gate_values["f"] * c_prev + gate_values["i"] * gate_values["g"]
+        h_next = gate_values["o"] * F.tanh(c_next)
+
+        omap = np.concatenate([gate_maps[g] for g, _ in self.GATES], axis=1)
+        sensitive = int(omap.sum())
+        row_cost = d_in + d_hid
+        savings = LayerSavings(
+            dense_macs=batch * 4 * hs * row_cost,
+            executed_macs=sensitive * row_cost,
+            speculation_macs=batch * self.approx.macs_per_step(),
+            speculation_additions=batch * self.approx.additions_per_step(),
+            dense_weight_reads=batch * 4 * hs * row_cost,
+            weight_reads=sensitive * row_cost,
+            speculation_weight_reads=batch
+            * (self.approx.w_ih.size + self.approx.w_hh.size),
+            outputs_total=batch * 4 * hs,
+            outputs_sensitive=sensitive,
+        )
+        report = DualModuleReport(omap, savings, gate_maps=gate_maps)
+        return (h_next, c_next), report
+
+    __call__ = forward
+
+    def run_sequence(
+        self, xs: np.ndarray, state: tuple[np.ndarray, np.ndarray] | None = None
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray], list[DualModuleReport]]:
+        """Unroll over ``(T, batch, input_size)``; returns (outputs, state, reports)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        seq_len, batch = xs.shape[0], xs.shape[1]
+        if state is None:
+            state = self.accurate.init_state(batch)
+        outputs = np.empty((seq_len, batch, self.accurate.hidden_size))
+        reports = []
+        for t in range(seq_len):
+            state, report = self.forward(xs[t], state)
+            outputs[t] = state[0]
+            reports.append(report)
+        return outputs, state, reports
+
+    def __repr__(self) -> str:
+        return f"DualModuleLSTMCell({self.accurate!r}, thetas={self.thresholds})"
+
+
+class DualModuleGRUCell:
+    """Dual-module GRU cell with per-gate speculation (RNN path).
+
+    The reset gate ``r`` used in the accurate candidate pre-activation is
+    the *mixed* reset gate, so insensitive reset neurons feed their
+    approximate value forward exactly as the hardware would.
+    """
+
+    GATES = _GRU_GATES
+
+    def __init__(
+        self,
+        accurate: GRUCell,
+        approx: ApproximateGRUCell,
+        threshold: float | dict[str, float],
+    ):
+        if accurate.input_size != approx.input_size:
+            raise ValueError("accurate/approx input sizes disagree")
+        if accurate.hidden_size != approx.hidden_size:
+            raise ValueError("accurate/approx hidden sizes disagree")
+        self.accurate = accurate
+        self.approx = approx
+        self.thresholds = _resolve_gate_thresholds(
+            threshold, tuple(g for g, _ in self.GATES)
+        )
+
+    def forward(
+        self, x: np.ndarray, h_prev: np.ndarray
+    ) -> tuple[np.ndarray, DualModuleReport]:
+        """Run one dual-module GRU step; returns ``(h_next, report)``."""
+        x = np.asarray(x, dtype=np.float64)
+        batch = x.shape[0]
+        hs = self.accurate.hidden_size
+        d_in, d_hid = self.accurate.input_size, hs
+
+        pre_approx = self.approx.pre_activations(x, h_prev, quantized=True)
+        gi = x @ self.accurate.w_ih.data.T + self.accurate.b_ih.data
+        gh = h_prev @ self.accurate.w_hh.data.T + self.accurate.b_hh.data
+
+        # reset gate
+        r_acc = gi[:, :hs] + gh[:, :hs]
+        r_map = switching_map(pre_approx[:, :hs], "sigmoid", self.thresholds["r"])
+        r = F.sigmoid(mix_outputs(r_acc, pre_approx[:, :hs], r_map))
+        # update gate
+        z_acc = gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]
+        z_map = switching_map(
+            pre_approx[:, hs : 2 * hs], "sigmoid", self.thresholds["z"]
+        )
+        z = F.sigmoid(mix_outputs(z_acc, pre_approx[:, hs : 2 * hs], z_map))
+        # candidate gate (accurate path uses the mixed reset gate)
+        n_acc = gi[:, 2 * hs :] + r * gh[:, 2 * hs :]
+        n_map = switching_map(pre_approx[:, 2 * hs :], "tanh", self.thresholds["n"])
+        n = F.tanh(mix_outputs(n_acc, pre_approx[:, 2 * hs :], n_map))
+
+        h_next = (1.0 - z) * n + z * h_prev
+
+        gate_maps = {"r": r_map, "z": z_map, "n": n_map}
+        omap = np.concatenate([r_map, z_map, n_map], axis=1)
+        sensitive = int(omap.sum())
+        row_cost = d_in + d_hid
+        savings = LayerSavings(
+            dense_macs=batch * 3 * hs * row_cost,
+            executed_macs=sensitive * row_cost,
+            speculation_macs=batch * self.approx.macs_per_step(),
+            speculation_additions=batch * self.approx.additions_per_step(),
+            dense_weight_reads=batch * 3 * hs * row_cost,
+            weight_reads=sensitive * row_cost,
+            speculation_weight_reads=batch
+            * (self.approx.w_ih.size + self.approx.w_hh.size),
+            outputs_total=batch * 3 * hs,
+            outputs_sensitive=sensitive,
+        )
+        report = DualModuleReport(omap, savings, gate_maps=gate_maps)
+        return h_next, report
+
+    __call__ = forward
+
+    def run_sequence(
+        self, xs: np.ndarray, h: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, list[DualModuleReport]]:
+        """Unroll over ``(T, batch, input_size)``; returns (outputs, h, reports)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        seq_len, batch = xs.shape[0], xs.shape[1]
+        if h is None:
+            h = self.accurate.init_state(batch)
+        outputs = np.empty((seq_len, batch, self.accurate.hidden_size))
+        reports = []
+        for t in range(seq_len):
+            h, report = self.forward(xs[t], h)
+            outputs[t] = h
+            reports.append(report)
+        return outputs, h, reports
+
+    def __repr__(self) -> str:
+        return f"DualModuleGRUCell({self.accurate!r}, thetas={self.thresholds})"

@@ -1,0 +1,118 @@
+"""Ternary random projection (paper Section II-A).
+
+The approximate module reduces the input dimension ``d`` to ``k`` with a
+random projection matrix ``P`` whose elements are ternary.  We follow the
+Achlioptas distribution the paper cites: each entry is
+
+    +s with probability 1/6,  0 with probability 2/3,  -s with probability 1/6,
+
+with ``s = sqrt(3 / k)`` so that ``E[P P^T] = I`` and distances are
+preserved in expectation.  Because the nonzero entries share a single
+magnitude, the projection is computed with sign flips, additions and one
+final scalar multiply -- no MACs -- which is exactly what the Speculator's
+Alignment Units + carry-save adder trees implement in hardware
+(Section III-B, Step 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TernaryRandomProjection"]
+
+
+class TernaryRandomProjection:
+    """A fixed ternary projection ``P in R^{k x d}``.
+
+    Attributes:
+        in_features: source dimension ``d``.
+        out_features: reduced dimension ``k``.
+        signs: the ternary sign pattern in ``{-1, 0, +1}^{k x d}``.
+        scale: shared magnitude ``sqrt(3 / k)`` of the nonzero entries.
+    """
+
+    #: Achlioptas probabilities for (-1, 0, +1).
+    PROBABILITIES = (1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0)
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ):
+        if out_features <= 0 or in_features <= 0:
+            raise ValueError(
+                f"dimensions must be positive, got d={in_features}, k={out_features}"
+            )
+        if out_features > in_features:
+            raise ValueError(
+                f"projection must reduce dimension: k={out_features} > d={in_features}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.signs = rng.choice(
+            np.array([-1, 0, 1], dtype=np.int8),
+            size=(out_features, in_features),
+            p=self.PROBABILITIES,
+        )
+        self.scale = float(np.sqrt(3.0 / out_features))
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense float projection matrix ``P = scale * signs``."""
+        return self.signs.astype(np.float64) * self.scale
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Project rows of ``x``: returns ``x @ P.T``.
+
+        Args:
+            x: array of shape ``(..., d)``.
+
+        Returns:
+            Array of shape ``(..., k)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected trailing dim {self.in_features}, got {x.shape[-1]}"
+            )
+        return (x @ self.signs.T.astype(np.float64)) * self.scale
+
+    def apply_integer(self, q: np.ndarray) -> np.ndarray:
+        """Project integer payloads exactly as the hardware adder trees do.
+
+        The Alignment Units flip signs per the ternary pattern and the
+        adder trees accumulate; the shared ``scale`` is folded into the
+        downstream tensor scale rather than multiplied per element.
+
+        Args:
+            q: integer array of shape ``(..., d)``.
+
+        Returns:
+            Integer array of shape ``(..., k)`` -- sums of sign-aligned
+            inputs (the caller owns the ``scale`` bookkeeping).
+        """
+        q = np.asarray(q)
+        if not np.issubdtype(q.dtype, np.integer):
+            raise TypeError(f"integer payload expected, got {q.dtype}")
+        if q.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected trailing dim {self.in_features}, got {q.shape[-1]}"
+            )
+        return q.astype(np.int64) @ self.signs.T.astype(np.int64)
+
+    def addition_count(self) -> int:
+        """Number of additions one projection of a single vector costs.
+
+        Each nonzero entry of ``P`` contributes one (sign-aligned) addition;
+        this is the operation count the Speculator's adder trees perform and
+        what the FLOPs accounting in :mod:`repro.core.stats` charges.
+        """
+        return int(np.count_nonzero(self.signs))
+
+    def __repr__(self) -> str:
+        return (
+            f"TernaryRandomProjection(d={self.in_features}, k={self.out_features}, "
+            f"nnz={self.addition_count()})"
+        )

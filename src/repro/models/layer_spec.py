@@ -1,0 +1,229 @@
+"""Layer-specification IR: the shapes the architecture simulator consumes.
+
+The cycle-level results in the paper (Figs. 11-13, Table I) depend on layer
+*shapes* -- MAC counts, weight volumes, feature-map sizes -- not on trained
+weights.  This module defines a small IR describing those shapes:
+
+- :class:`ConvSpec` -- a convolutional layer (with input geometry).
+- :class:`FCSpec` -- a fully-connected layer.
+- :class:`RNNSpec` -- an LSTM/GRU layer unrolled over a sequence.
+- :class:`ModelSpec` -- an ordered list of layer specs plus metadata.
+
+All sizes are in elements; byte counts use the Executor's 16-bit datapath
+(2 bytes/element) unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.functional import conv_output_size
+
+__all__ = ["ConvSpec", "FCSpec", "RNNSpec", "ModelSpec", "BYTES_PER_ELEMENT"]
+
+#: Executor datapath width (INT16) in bytes per element.
+BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Shape of one convolutional layer.
+
+    Attributes:
+        name: layer label, e.g. ``"conv3"``.
+        in_channels/out_channels: channel counts.
+        kernel: square filter size.
+        stride/padding: spatial geometry.
+        in_h/in_w: input feature-map spatial size.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    padding: int
+    in_h: int
+    in_w: int
+
+    @property
+    def out_h(self) -> int:
+        """Output feature-map height."""
+        return conv_output_size(self.in_h, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        """Output feature-map width."""
+        return conv_output_size(self.in_w, self.kernel, self.stride, self.padding)
+
+    @property
+    def receptive_field(self) -> int:
+        """Elements in one receptive field: ``C_in * k * k`` (the GEMM depth)."""
+        return self.in_channels * self.kernel * self.kernel
+
+    @property
+    def output_elements(self) -> int:
+        """Output activations per image: ``C_out * H' * W'``."""
+        return self.out_channels * self.out_h * self.out_w
+
+    @property
+    def input_elements(self) -> int:
+        """Input activations per image: ``C_in * H * W``."""
+        return self.in_channels * self.in_h * self.in_w
+
+    @property
+    def weight_elements(self) -> int:
+        """Filter weights: ``C_out * C_in * k * k``."""
+        return self.out_channels * self.receptive_field
+
+    @property
+    def macs(self) -> int:
+        """Dense MACs per image."""
+        return self.output_elements * self.receptive_field
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.in_channels}x{self.in_h}x{self.in_w} -> "
+            f"{self.out_channels}x{self.out_h}x{self.out_w} (k={self.kernel}, "
+            f"s={self.stride}, p={self.padding})"
+        )
+
+
+@dataclass(frozen=True)
+class FCSpec:
+    """Shape of one fully-connected layer."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def weight_elements(self) -> int:
+        """Weight matrix elements ``n * d``."""
+        return self.in_features * self.out_features
+
+    @property
+    def output_elements(self) -> int:
+        """Output activations per input vector."""
+        return self.out_features
+
+    @property
+    def input_elements(self) -> int:
+        """Input activations per vector."""
+        return self.in_features
+
+    @property
+    def macs(self) -> int:
+        """Dense MACs per input vector."""
+        return self.weight_elements
+
+    def __str__(self) -> str:
+        return f"{self.name}: FC {self.in_features} -> {self.out_features}"
+
+
+@dataclass(frozen=True)
+class RNNSpec:
+    """Shape of one recurrent layer unrolled over ``seq_len`` steps.
+
+    Attributes:
+        name: layer label, e.g. ``"lstm1"``.
+        kind: ``"lstm"`` (4 gates) or ``"gru"`` (3 gates).
+        input_size / hidden_size: cell dimensions.
+        seq_len: number of time steps the evaluation unrolls.
+    """
+
+    name: str
+    kind: str
+    input_size: int
+    hidden_size: int
+    seq_len: int
+
+    def __post_init__(self):
+        if self.kind not in ("lstm", "gru"):
+            raise ValueError(f"kind must be 'lstm' or 'gru', got {self.kind!r}")
+
+    @property
+    def num_gates(self) -> int:
+        """Gate count: 4 for LSTM, 3 for GRU."""
+        return 4 if self.kind == "lstm" else 3
+
+    @property
+    def weight_elements(self) -> int:
+        """All gate weights: ``G * H * (D + H)`` (biases excluded)."""
+        return self.num_gates * self.hidden_size * (self.input_size + self.hidden_size)
+
+    @property
+    def macs_per_step(self) -> int:
+        """Dense MACs per time step."""
+        return self.weight_elements
+
+    @property
+    def macs(self) -> int:
+        """Dense MACs over the whole sequence."""
+        return self.macs_per_step * self.seq_len
+
+    @property
+    def outputs_per_step(self) -> int:
+        """Gate pre-activations produced per step: ``G * H``."""
+        return self.num_gates * self.hidden_size
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.kind.upper()} D={self.input_size} H={self.hidden_size} "
+            f"T={self.seq_len}"
+        )
+
+
+@dataclass
+class ModelSpec:
+    """An ordered collection of layer specs.
+
+    Attributes:
+        name: model name, e.g. ``"alexnet"``.
+        domain: ``"cnn"`` or ``"rnn"`` -- selects the simulator dataflow.
+        layers: ordered layer specs (conv/fc for CNNs, rnn for RNNs).
+    """
+
+    name: str
+    domain: str
+    layers: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.domain not in ("cnn", "rnn"):
+            raise ValueError(f"domain must be 'cnn' or 'rnn', got {self.domain!r}")
+
+    @property
+    def conv_layers(self) -> list[ConvSpec]:
+        """The convolutional layers only."""
+        return [layer for layer in self.layers if isinstance(layer, ConvSpec)]
+
+    @property
+    def rnn_layers(self) -> list[RNNSpec]:
+        """The recurrent layers only."""
+        return [layer for layer in self.layers if isinstance(layer, RNNSpec)]
+
+    @property
+    def total_macs(self) -> int:
+        """Dense MACs over all layers (per image / per sequence)."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_elements(self) -> int:
+        """Total weight volume in elements."""
+        return sum(layer.weight_elements for layer in self.layers)
+
+    def layer(self, name: str):
+        """Look up a layer spec by name.
+
+        Raises:
+            KeyError: if no layer has that name.
+        """
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"model {self.name!r} has no layer {name!r}")
+
+    def __str__(self) -> str:
+        lines = [f"ModelSpec {self.name} ({self.domain}):"]
+        lines.extend(f"  {layer}" for layer in self.layers)
+        return "\n".join(lines)

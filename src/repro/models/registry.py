@@ -1,0 +1,34 @@
+"""Name-based lookup of benchmark model specs."""
+
+from __future__ import annotations
+
+from repro.models import zoo
+from repro.models.layer_spec import ModelSpec
+
+__all__ = ["MODEL_REGISTRY", "get_model_spec"]
+
+#: Mapping of model name to zero-argument ModelSpec factory.
+MODEL_REGISTRY = {
+    "alexnet": zoo.alexnet,
+    "vgg16": zoo.vgg16,
+    "resnet18": zoo.resnet18,
+    "resnet50": zoo.resnet50,
+    "lstm": zoo.lstm_lm,
+    "gru": zoo.gru_lm,
+    "gnmt": zoo.gnmt,
+}
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Build the :class:`ModelSpec` for a registered model name.
+
+    Raises:
+        KeyError: for unknown names; the message lists valid options.
+    """
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return factory()

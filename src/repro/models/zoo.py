@@ -1,0 +1,177 @@
+"""Shape-exact model zoo: the benchmark networks of the paper's evaluation.
+
+Builds :class:`~repro.models.layer_spec.ModelSpec` descriptions for the
+models the paper evaluates (Section V-A): AlexNet, ResNet18, ResNet50 on
+ImageNet shapes; VGG16 (used in Fig. 12b); 2-layer LSTM and GRU language
+models on PTB shapes; and GNMT encoder-decoder shapes for WMT16.
+
+Only shapes matter for the architecture study, so these functions produce
+layer specs, not trained networks (see :mod:`repro.models.proxies` for the
+trainable counterparts used in accuracy studies).
+"""
+
+from __future__ import annotations
+
+from repro.models.layer_spec import ConvSpec, FCSpec, ModelSpec, RNNSpec
+
+__all__ = [
+    "alexnet",
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "lstm_lm",
+    "gru_lm",
+    "gnmt",
+]
+
+
+def alexnet() -> ModelSpec:
+    """AlexNet CONV/FC shapes (torchvision variant, 224x224 input)."""
+    layers = [
+        ConvSpec("conv1", 3, 64, kernel=11, stride=4, padding=2, in_h=224, in_w=224),
+        ConvSpec("conv2", 64, 192, kernel=5, stride=1, padding=2, in_h=27, in_w=27),
+        ConvSpec("conv3", 192, 384, kernel=3, stride=1, padding=1, in_h=13, in_w=13),
+        ConvSpec("conv4", 384, 256, kernel=3, stride=1, padding=1, in_h=13, in_w=13),
+        ConvSpec("conv5", 256, 256, kernel=3, stride=1, padding=1, in_h=13, in_w=13),
+        FCSpec("fc6", 256 * 6 * 6, 4096),
+        FCSpec("fc7", 4096, 4096),
+        FCSpec("fc8", 4096, 1000),
+    ]
+    return ModelSpec("alexnet", "cnn", layers)
+
+
+def vgg16() -> ModelSpec:
+    """VGG16's thirteen 3x3 CONV layers plus classifier shapes."""
+    cfg = [
+        # (name, in_c, out_c, in_hw)
+        ("conv1_1", 3, 64, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 64, 128, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 128, 256, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 256, 512, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ]
+    layers = [
+        ConvSpec(name, c_in, c_out, kernel=3, stride=1, padding=1, in_h=hw, in_w=hw)
+        for name, c_in, c_out, hw in cfg
+    ]
+    layers.extend(
+        [
+            FCSpec("fc6", 512 * 7 * 7, 4096),
+            FCSpec("fc7", 4096, 4096),
+            FCSpec("fc8", 4096, 1000),
+        ]
+    )
+    return ModelSpec("vgg16", "cnn", layers)
+
+
+def _resnet_stage(
+    prefix: str,
+    blocks: int,
+    in_channels: int,
+    out_channels: int,
+    in_hw: int,
+    first_stride: int,
+    bottleneck: bool,
+) -> list[ConvSpec]:
+    """Enumerate the CONV layers of one ResNet stage (incl. downsample)."""
+    layers: list[ConvSpec] = []
+    hw = in_hw
+    c_in = in_channels
+    for b in range(blocks):
+        stride = first_stride if b == 0 else 1
+        out_hw = hw // stride
+        if bottleneck:
+            mid = out_channels // 4
+            layers.append(
+                ConvSpec(f"{prefix}_{b}_conv1", c_in, mid, 1, stride, 0, hw, hw)
+            )
+            layers.append(
+                ConvSpec(f"{prefix}_{b}_conv2", mid, mid, 3, 1, 1, out_hw, out_hw)
+            )
+            layers.append(
+                ConvSpec(f"{prefix}_{b}_conv3", mid, out_channels, 1, 1, 0, out_hw, out_hw)
+            )
+        else:
+            layers.append(
+                ConvSpec(f"{prefix}_{b}_conv1", c_in, out_channels, 3, stride, 1, hw, hw)
+            )
+            layers.append(
+                ConvSpec(
+                    f"{prefix}_{b}_conv2", out_channels, out_channels, 3, 1, 1, out_hw, out_hw
+                )
+            )
+        if b == 0 and (stride != 1 or c_in != out_channels):
+            layers.append(
+                ConvSpec(f"{prefix}_{b}_down", c_in, out_channels, 1, stride, 0, hw, hw)
+            )
+        c_in = out_channels
+        hw = out_hw
+    return layers
+
+
+def resnet18() -> ModelSpec:
+    """ResNet-18 CONV shapes (basic blocks) plus the final FC."""
+    layers = [ConvSpec("conv1", 3, 64, kernel=7, stride=2, padding=3, in_h=224, in_w=224)]
+    layers += _resnet_stage("layer1", 2, 64, 64, 56, 1, bottleneck=False)
+    layers += _resnet_stage("layer2", 2, 64, 128, 56, 2, bottleneck=False)
+    layers += _resnet_stage("layer3", 2, 128, 256, 28, 2, bottleneck=False)
+    layers += _resnet_stage("layer4", 2, 256, 512, 14, 2, bottleneck=False)
+    layers.append(FCSpec("fc", 512, 1000))
+    return ModelSpec("resnet18", "cnn", layers)
+
+
+def resnet50() -> ModelSpec:
+    """ResNet-50 CONV shapes (bottleneck blocks) plus the final FC."""
+    layers = [ConvSpec("conv1", 3, 64, kernel=7, stride=2, padding=3, in_h=224, in_w=224)]
+    layers += _resnet_stage("layer1", 3, 64, 256, 56, 1, bottleneck=True)
+    layers += _resnet_stage("layer2", 4, 256, 512, 56, 2, bottleneck=True)
+    layers += _resnet_stage("layer3", 6, 512, 1024, 28, 2, bottleneck=True)
+    layers += _resnet_stage("layer4", 3, 1024, 2048, 14, 2, bottleneck=True)
+    layers.append(FCSpec("fc", 2048, 1000))
+    return ModelSpec("resnet50", "cnn", layers)
+
+
+def lstm_lm(hidden: int = 1024, layers: int = 2, seq_len: int = 35) -> ModelSpec:
+    """2-layer LSTM language model on PTB shapes (paper's RNN benchmark).
+
+    The paper's memory-bound analysis uses 1024-wide cells whose per-gate
+    weight matrix is 1024x1024 = 2 MB at 16 bits (Section IV-B).
+    """
+    specs = [
+        RNNSpec(f"lstm{i + 1}", "lstm", hidden, hidden, seq_len) for i in range(layers)
+    ]
+    return ModelSpec("lstm", "rnn", specs)
+
+
+def gru_lm(hidden: int = 1024, layers: int = 2, seq_len: int = 35) -> ModelSpec:
+    """2-layer GRU language model on PTB shapes."""
+    specs = [
+        RNNSpec(f"gru{i + 1}", "gru", hidden, hidden, seq_len) for i in range(layers)
+    ]
+    return ModelSpec("gru", "rnn", specs)
+
+
+def gnmt(hidden: int = 1024, seq_len: int = 30) -> ModelSpec:
+    """GNMT encoder-decoder LSTM shapes (WMT16 en-de benchmark).
+
+    Four encoder and four decoder LSTM layers of width 1024, matching the
+    GNMT-v2 configuration commonly used in MLPerf.  Attention is a small
+    GEMV compared to the recurrent weights and is omitted from the
+    workload, as the paper's memory-access analysis concerns the weight
+    matrices.
+    """
+    specs = [
+        RNNSpec(f"enc{i + 1}", "lstm", hidden, hidden, seq_len) for i in range(4)
+    ]
+    specs += [
+        RNNSpec(f"dec{i + 1}", "lstm", hidden, hidden, seq_len) for i in range(4)
+    ]
+    return ModelSpec("gnmt", "rnn", specs)

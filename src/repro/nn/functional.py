@@ -1,0 +1,180 @@
+"""Stateless tensor functions: activations, im2col/col2im, softmax.
+
+These are the numerical primitives the rest of :mod:`repro.nn` (and the
+dual-module algorithm in :mod:`repro.core`) are built from.  All functions
+take and return ``numpy.ndarray`` and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "sigmoid_grad",
+    "tanh",
+    "tanh_grad",
+    "softmax",
+    "log_softmax",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "activation_by_name",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU w.r.t. its pre-activation input ``x``."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid ``1 / (1 + exp(-x))``."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype, copy=False)
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid expressed in terms of its *output* ``y``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh expressed in terms of its *output* ``y``."""
+    return 1.0 - y * y
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log of softmax along ``axis``, computed without overflow."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size {out} "
+            f"(input={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold image patches into columns (the paper's CONV-to-GEMM lowering).
+
+    Section II-B of the paper applies dual-module processing to CONV layers
+    by "first doing the im2col transformation on the input tensor"; this is
+    that transformation.
+
+    Args:
+        x: input of shape ``(N, C, H, W)``.
+        kernel: ``(kh, kw)`` filter spatial size.
+        stride: convolution stride (same in both dimensions).
+        padding: zero padding (same on all sides).
+
+    Returns:
+        Array of shape ``(N * out_h * out_w, C * kh * kw)`` where each row
+        is one receptive field flattened in ``(C, kh, kw)`` order.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold columns back to an image, summing overlapping patches.
+
+    Inverse (adjoint) of :func:`im2col`; used by the Conv2d backward pass.
+
+    Args:
+        cols: array of shape ``(N * out_h * out_w, C * kh * kw)``.
+        x_shape: original input shape ``(N, C, H, W)``.
+        kernel: ``(kh, kw)`` filter spatial size.
+        stride: convolution stride.
+        padding: zero padding.
+
+    Returns:
+        Array of shape ``x_shape`` with overlapping contributions summed.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+_ACTIVATIONS = {
+    "relu": relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "identity": lambda x: x,
+}
+
+
+def activation_by_name(name: str):
+    """Look up an activation function by name.
+
+    Supported names: ``relu``, ``sigmoid``, ``tanh``, ``identity`` -- the
+    set of nonlinearities DUET's Multi-Function Unit implements (paper
+    Section III-B, Step 3).
+    """
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; expected one of {sorted(_ACTIVATIONS)}"
+        ) from None

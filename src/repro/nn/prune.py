@@ -1,0 +1,81 @@
+"""Magnitude-based weight pruning (static model compression).
+
+Paper Section VI: dynamic dual-module processing is orthogonal to static
+compression -- "dual-module processing can be combined with other model
+compression techniques by taking compressed layers as accurate modules".
+This module provides the static side of that combination: global or
+per-layer magnitude pruning of :class:`~repro.nn.module.Module` weights,
+so a pruned network can serve as the accurate module in
+:mod:`repro.models.dualize`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module, Parameter
+
+__all__ = ["magnitude_prune_parameter", "magnitude_prune", "weight_sparsity"]
+
+
+def magnitude_prune_parameter(param: Parameter, sparsity: float) -> int:
+    """Zero the smallest-magnitude fraction of one parameter in place.
+
+    Args:
+        param: the parameter to prune.
+        sparsity: fraction of elements to zero, in ``[0, 1)``.
+
+    Returns:
+        The number of elements zeroed.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if sparsity == 0.0 or param.size == 0:
+        return 0
+    flat = np.abs(param.data).reshape(-1)
+    k = int(round(sparsity * flat.size))
+    if k == 0:
+        return 0
+    threshold = np.partition(flat, k - 1)[k - 1]
+    mask = np.abs(param.data) > threshold
+    zeroed = int(param.size - mask.sum())
+    param.data = param.data * mask
+    return zeroed
+
+
+def magnitude_prune(
+    model: Module, sparsity: float, layer_types: tuple = (Linear, Conv2d)
+) -> dict[str, int]:
+    """Prune the weight matrices of selected layer types in place.
+
+    Biases and normalisation parameters are untouched; only the ``weight``
+    parameter of each matching layer is pruned, each at the same rate
+    (uniform per-layer magnitude pruning).
+
+    Args:
+        model: the module tree to prune.
+        sparsity: per-layer fraction of weights to zero.
+        layer_types: layer classes whose weights are pruned.
+
+    Returns:
+        Mapping of layer repr to elements zeroed.
+    """
+    zeroed = {}
+    for module in model.modules():
+        if isinstance(module, layer_types):
+            zeroed[repr(module)] = magnitude_prune_parameter(
+                module.weight, sparsity
+            )
+    return zeroed
+
+
+def weight_sparsity(model: Module, layer_types: tuple = (Linear, Conv2d)) -> float:
+    """Fraction of zero weights across the selected layer types."""
+    zeros = 0
+    total = 0
+    for module in model.modules():
+        if isinstance(module, layer_types):
+            zeros += int(np.sum(module.weight.data == 0.0))
+            total += module.weight.size
+    return zeros / total if total else 0.0

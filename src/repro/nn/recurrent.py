@@ -1,0 +1,349 @@
+"""Recurrent cells (LSTM, GRU) and multi-step wrappers with full BPTT.
+
+The paper evaluates memory-bound RNN workloads (LSTM/GRU language models
+and GNMT).  Dual-module processing for an LSTM constructs approximate
+modules for both the input-to-hidden and hidden-to-hidden matrices
+(Section II-B), so the cells here expose those matrices individually
+(``w_ih``, ``w_hh``) in the conventional gate-stacked layout.
+
+Gate ordering follows the PyTorch convention:
+
+- LSTM: ``[input, forget, cell(g), output]`` stacked along the row axis.
+- GRU:  ``[reset, update, new]`` stacked along the row axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import default_rng, uniform_fan_in
+from repro.nn.module import Module, Parameter
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU"]
+
+
+class LSTMCell(Module):
+    """Single LSTM step.
+
+    ``w_ih`` has shape ``(4H, D)`` and ``w_hh`` has shape ``(4H, H)``; each
+    is the vertical stack of the four gate matrices in i, f, g, o order.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(uniform_fan_in((4 * hidden_size, input_size), rng))
+        self.w_hh = Parameter(uniform_fan_in((4 * hidden_size, hidden_size), rng))
+        self.b = Parameter(np.zeros(4 * hidden_size))
+
+    def forward(
+        self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[tuple[np.ndarray, np.ndarray], dict]:
+        """Run one step.
+
+        Args:
+            x: input of shape ``(batch, input_size)``.
+            state: ``(h, c)`` with shapes ``(batch, hidden_size)``.
+
+        Returns:
+            ``((h_next, c_next), cache)`` where ``cache`` holds the values
+            :meth:`backward` needs.
+        """
+        h_prev, c_prev = state
+        hs = self.hidden_size
+        pre = x @ self.w_ih.data.T + h_prev @ self.w_hh.data.T + self.b.data
+        i = F.sigmoid(pre[:, 0 * hs : 1 * hs])
+        f = F.sigmoid(pre[:, 1 * hs : 2 * hs])
+        g = F.tanh(pre[:, 2 * hs : 3 * hs])
+        o = F.sigmoid(pre[:, 3 * hs : 4 * hs])
+        c_next = f * c_prev + i * g
+        tanh_c = F.tanh(c_next)
+        h_next = o * tanh_c
+        cache = {
+            "x": x,
+            "h_prev": h_prev,
+            "c_prev": c_prev,
+            "i": i,
+            "f": f,
+            "g": g,
+            "o": o,
+            "tanh_c": tanh_c,
+        }
+        return (h_next, c_next), cache
+
+    def backward(
+        self, grad_h: np.ndarray, grad_c: np.ndarray, cache: dict
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Back-propagate one step.
+
+        Args:
+            grad_h: gradient w.r.t. ``h_next`` (includes any from above).
+            grad_c: gradient w.r.t. ``c_next`` flowing from the next step.
+            cache: the cache returned by :meth:`forward`.
+
+        Returns:
+            ``(grad_x, grad_h_prev, grad_c_prev)``.
+        """
+        i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+        tanh_c = cache["tanh_c"]
+        dc = grad_c + grad_h * o * F.tanh_grad(tanh_c)
+        d_o = grad_h * tanh_c * F.sigmoid_grad(o)
+        d_i = dc * g * F.sigmoid_grad(i)
+        d_f = dc * cache["c_prev"] * F.sigmoid_grad(f)
+        d_g = dc * i * F.tanh_grad(g)
+        d_pre = np.concatenate([d_i, d_f, d_g, d_o], axis=1)
+        self.w_ih.grad += d_pre.T @ cache["x"]
+        self.w_hh.grad += d_pre.T @ cache["h_prev"]
+        self.b.grad += d_pre.sum(axis=0)
+        grad_x = d_pre @ self.w_ih.data
+        grad_h_prev = d_pre @ self.w_hh.data
+        grad_c_prev = dc * f
+        return grad_x, grad_h_prev, grad_c_prev
+
+    def init_state(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero ``(h, c)`` state for a batch."""
+        shape = (batch, self.hidden_size)
+        return np.zeros(shape), np.zeros(shape)
+
+    def __repr__(self) -> str:
+        return f"LSTMCell({self.input_size}, {self.hidden_size})"
+
+
+class GRUCell(Module):
+    """Single GRU step with PyTorch-style separate input/hidden biases.
+
+    ``w_ih`` has shape ``(3H, D)`` and ``w_hh`` has shape ``(3H, H)``,
+    stacked in r, z, n order.  Separate biases ``b_ih``/``b_hh`` are kept
+    because the candidate gate applies the reset gate to the *hidden*
+    contribution only: ``n = tanh(W_in x + b_in + r * (W_hn h + b_hn))``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(uniform_fan_in((3 * hidden_size, input_size), rng))
+        self.w_hh = Parameter(uniform_fan_in((3 * hidden_size, hidden_size), rng))
+        self.b_ih = Parameter(np.zeros(3 * hidden_size))
+        self.b_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(
+        self, x: np.ndarray, h_prev: np.ndarray
+    ) -> tuple[np.ndarray, dict]:
+        """Run one step; returns ``(h_next, cache)``."""
+        hs = self.hidden_size
+        gi = x @ self.w_ih.data.T + self.b_ih.data
+        gh = h_prev @ self.w_hh.data.T + self.b_hh.data
+        r = F.sigmoid(gi[:, 0 * hs : 1 * hs] + gh[:, 0 * hs : 1 * hs])
+        z = F.sigmoid(gi[:, 1 * hs : 2 * hs] + gh[:, 1 * hs : 2 * hs])
+        hn = gh[:, 2 * hs : 3 * hs]
+        n = F.tanh(gi[:, 2 * hs : 3 * hs] + r * hn)
+        h_next = (1.0 - z) * n + z * h_prev
+        cache = {"x": x, "h_prev": h_prev, "r": r, "z": z, "n": n, "hn": hn}
+        return h_next, cache
+
+    def backward(
+        self, grad_h: np.ndarray, cache: dict
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Back-propagate one step; returns ``(grad_x, grad_h_prev)``."""
+        r, z, n, hn = cache["r"], cache["z"], cache["n"], cache["hn"]
+        h_prev = cache["h_prev"]
+        d_n = grad_h * (1.0 - z) * F.tanh_grad(n)
+        d_z = grad_h * (h_prev - n) * F.sigmoid_grad(z)
+        d_r = d_n * hn * F.sigmoid_grad(r)
+        d_gi = np.concatenate([d_r, d_z, d_n], axis=1)
+        d_gh = np.concatenate([d_r, d_z, d_n * r], axis=1)
+        self.w_ih.grad += d_gi.T @ cache["x"]
+        self.w_hh.grad += d_gh.T @ h_prev
+        self.b_ih.grad += d_gi.sum(axis=0)
+        self.b_hh.grad += d_gh.sum(axis=0)
+        grad_x = d_gi @ self.w_ih.data
+        grad_h_prev = d_gh @ self.w_hh.data + grad_h * z
+        return grad_x, grad_h_prev
+
+    def init_state(self, batch: int) -> np.ndarray:
+        """Zero hidden state for a batch."""
+        return np.zeros((batch, self.hidden_size))
+
+    def __repr__(self) -> str:
+        return f"GRUCell({self.input_size}, {self.hidden_size})"
+
+
+class LSTM(Module):
+    """Multi-step, (optionally) multi-layer LSTM over ``(T, B, D)`` input.
+
+    Forward caches every step so :meth:`backward` can run full BPTT,
+    summing the loss over all time steps exactly as the paper's
+    approximate-module training does (Section II-B).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            LSTMCell(input_size if i == 0 else hidden_size, hidden_size, rng)
+            for i in range(num_layers)
+        ]
+        for i, cell in enumerate(self.cells):
+            setattr(self, f"cell{i}", cell)
+        self._caches: list[list[dict]] | None = None
+
+    def forward(
+        self,
+        x: np.ndarray,
+        state: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Run the whole sequence.
+
+        Args:
+            x: input of shape ``(T, B, input_size)``.
+            state: optional per-layer ``(h, c)`` initial states.
+
+        Returns:
+            ``(outputs, final_states)`` where ``outputs`` has shape
+            ``(T, B, hidden_size)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        seq_len, batch = x.shape[0], x.shape[1]
+        if state is None:
+            state = [cell.init_state(batch) for cell in self.cells]
+        caches: list[list[dict]] = [[] for _ in self.cells]
+        layer_input = x
+        final_states = []
+        for li, cell in enumerate(self.cells):
+            h, c = state[li]
+            outputs = np.empty((seq_len, batch, self.hidden_size))
+            for t in range(seq_len):
+                (h, c), cache = cell(layer_input[t], (h, c))
+                caches[li].append(cache)
+                outputs[t] = h
+            layer_input = outputs
+            final_states.append((h, c))
+        self._caches = caches
+        return layer_input, final_states
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """BPTT given ``grad_out`` of shape ``(T, B, hidden_size)``.
+
+        Returns the gradient w.r.t. the input sequence.
+        """
+        if self._caches is None:
+            raise RuntimeError("backward called before forward")
+        seq_len, batch = grad_out.shape[0], grad_out.shape[1]
+        grad_layer = grad_out
+        for li in range(self.num_layers - 1, -1, -1):
+            cell = self.cells[li]
+            caches = self._caches[li]
+            grad_inputs = np.empty(
+                (seq_len, batch, cell.input_size)
+            )
+            grad_h = np.zeros((batch, self.hidden_size))
+            grad_c = np.zeros((batch, self.hidden_size))
+            for t in range(seq_len - 1, -1, -1):
+                grad_x, grad_h, grad_c = cell.backward(
+                    grad_layer[t] + grad_h, grad_c, caches[t]
+                )
+                grad_inputs[t] = grad_x
+            grad_layer = grad_inputs
+        self._caches = None
+        return grad_layer
+
+    def __repr__(self) -> str:
+        return (
+            f"LSTM({self.input_size}, {self.hidden_size}, "
+            f"num_layers={self.num_layers})"
+        )
+
+
+class GRU(Module):
+    """Multi-step, (optionally) multi-layer GRU over ``(T, B, D)`` input."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            GRUCell(input_size if i == 0 else hidden_size, hidden_size, rng)
+            for i in range(num_layers)
+        ]
+        for i, cell in enumerate(self.cells):
+            setattr(self, f"cell{i}", cell)
+        self._caches: list[list[dict]] | None = None
+
+    def forward(
+        self, x: np.ndarray, state: list[np.ndarray] | None = None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Run the whole sequence; returns ``(outputs, final_states)``."""
+        x = np.asarray(x, dtype=np.float64)
+        seq_len, batch = x.shape[0], x.shape[1]
+        if state is None:
+            state = [cell.init_state(batch) for cell in self.cells]
+        caches: list[list[dict]] = [[] for _ in self.cells]
+        layer_input = x
+        final_states = []
+        for li, cell in enumerate(self.cells):
+            h = state[li]
+            outputs = np.empty((seq_len, batch, self.hidden_size))
+            for t in range(seq_len):
+                h, cache = cell(layer_input[t], h)
+                caches[li].append(cache)
+                outputs[t] = h
+            layer_input = outputs
+            final_states.append(h)
+        self._caches = caches
+        return layer_input, final_states
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """BPTT; returns the gradient w.r.t. the input sequence."""
+        if self._caches is None:
+            raise RuntimeError("backward called before forward")
+        seq_len, batch = grad_out.shape[0], grad_out.shape[1]
+        grad_layer = grad_out
+        for li in range(self.num_layers - 1, -1, -1):
+            cell = self.cells[li]
+            caches = self._caches[li]
+            grad_inputs = np.empty((seq_len, batch, cell.input_size))
+            grad_h = np.zeros((batch, self.hidden_size))
+            for t in range(seq_len - 1, -1, -1):
+                grad_x, grad_h = cell.backward(grad_layer[t] + grad_h, caches[t])
+                grad_inputs[t] = grad_x
+            grad_layer = grad_inputs
+        self._caches = None
+        return grad_layer
+
+    def __repr__(self) -> str:
+        return (
+            f"GRU({self.input_size}, {self.hidden_size}, "
+            f"num_layers={self.num_layers})"
+        )

@@ -1,0 +1,39 @@
+"""Checkpointing: save/load module parameters as ``.npz`` archives.
+
+Trained proxies (and their distilled approximate modules) are cheap to
+retrain but annoying to retrain *repeatedly*; this module persists any
+:class:`~repro.nn.module.Module` state dict to a single compressed file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(model: Module, path: str | pathlib.Path) -> None:
+    """Write the model's parameters to ``path`` (``.npz``).
+
+    Parameter names become archive keys; the archive is compressed.
+    """
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez_compressed(str(path), **state)
+
+
+def load_checkpoint(model: Module, path: str | pathlib.Path) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Raises:
+        KeyError / ValueError: on missing parameters or shape mismatches
+            (propagated from :meth:`Module.load_state_dict`).
+    """
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)

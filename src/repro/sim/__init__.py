@@ -1,0 +1,60 @@
+"""DUET accelerator simulator (paper Sections III-IV).
+
+Cycle-level (tile-granular) simulation of the dual-module architecture:
+
+- :mod:`repro.sim.config` -- hardware configuration and evaluation stages.
+- :mod:`repro.sim.pe` -- functional PE with MAC-instruction LUT skipping.
+- :mod:`repro.sim.executor` -- 16x16 PE-array cycle model (CNN channel
+  mapping, RNN row mapping).
+- :mod:`repro.sim.functional` -- functional (ground-truth) PE-array
+  execution used to validate the cycle model.
+- :mod:`repro.sim.event` -- discrete-event schedule validating the
+  pipeline-overlap assumptions.
+- :mod:`repro.sim.tiling` -- GLB-constrained loop tiling (DRAM traffic).
+- :mod:`repro.sim.speculator` -- quantizer / adder-tree / systolic / MFU /
+  reorder pipeline model.
+- :mod:`repro.sim.mapping` -- naive and adaptive channel scheduling plus
+  the Reorder Unit hardware model.
+- :mod:`repro.sim.glb` / :mod:`repro.sim.noc` / :mod:`repro.sim.dram` --
+  memory-system models.
+- :mod:`repro.sim.pipeline` -- the CNN layer pipeline and RNN gate-level
+  pipeline.
+- :mod:`repro.sim.energy` / :mod:`repro.sim.area` -- energy and area
+  models (Fig. 12e/f, Table I).
+- :mod:`repro.sim.accelerator` -- :class:`DuetAccelerator` top level.
+"""
+
+from repro.sim.accelerator import DuetAccelerator
+from repro.sim.area import AreaBreakdown, AreaModel
+from repro.sim.config import STAGES, DuetConfig, stage_config
+from repro.sim.energy import EnergyBreakdown, EnergyModel
+from repro.sim.event import EventSimulator, simulate_cnn_events
+from repro.sim.executor import ExecutorModel
+from repro.sim.functional import FunctionalExecutorArray
+from repro.sim.mapping import ReorderUnit, adaptive_schedule, naive_schedule
+from repro.sim.pipeline import CnnPipeline, RnnPipeline
+from repro.sim.report import LayerReport, ModelReport
+from repro.sim.speculator import SpeculatorModel
+
+__all__ = [
+    "DuetAccelerator",
+    "DuetConfig",
+    "stage_config",
+    "STAGES",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+    "AreaBreakdown",
+    "ExecutorModel",
+    "FunctionalExecutorArray",
+    "EventSimulator",
+    "simulate_cnn_events",
+    "SpeculatorModel",
+    "CnnPipeline",
+    "RnnPipeline",
+    "ModelReport",
+    "LayerReport",
+    "ReorderUnit",
+    "naive_schedule",
+    "adaptive_schedule",
+]

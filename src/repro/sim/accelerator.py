@@ -1,0 +1,114 @@
+"""DUET top level: run a model spec end to end on the simulated accelerator."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.models.layer_spec import ModelSpec
+from repro.sim.area import AreaBreakdown, AreaModel
+from repro.sim.config import DuetConfig, stage_config
+from repro.sim.energy import EnergyModel
+from repro.sim.pipeline import CnnPipeline, RnnPipeline
+from repro.sim.report import ModelReport
+from repro.workloads.sparsity import (
+    CnnLayerWorkload,
+    RnnLayerWorkload,
+    SparsityModel,
+    cnn_workloads,
+    rnn_workloads,
+)
+
+__all__ = ["DuetAccelerator"]
+
+
+class DuetAccelerator:
+    """The DUET accelerator: config + energy model + dataflow pipelines.
+
+    Typical use::
+
+        acc = DuetAccelerator()                       # full DUET
+        base = DuetAccelerator(stage="BASE")          # single-module
+        report = acc.run(get_model_spec("alexnet"))
+        print(report.latency_ms, base.run(...).speedup_over(report))
+
+    Args:
+        config: explicit hardware/feature configuration; mutually exclusive
+            with ``stage``.
+        stage: one of ``BASE/OS/BOS/IOS/DUET`` (Fig. 12a evaluation
+            stages); builds the matching config from defaults.
+        energy_model: per-op energy constants.
+        reduction: approximate-module dimension-reduction ratio ``k / d``
+            (default 0.125 -- the paper's QDR modules carry roughly an
+            order of magnitude fewer parameters than the accurate layers).
+        sparsity: workload sparsity statistics (used when ``run`` is given
+            a bare model spec rather than explicit workloads).
+    """
+
+    def __init__(
+        self,
+        config: DuetConfig | None = None,
+        stage: str | None = None,
+        energy_model: EnergyModel | None = None,
+        reduction: float = 0.125,
+        sparsity: SparsityModel | None = None,
+    ):
+        if config is not None and stage is not None:
+            raise ValueError("pass either config or stage, not both")
+        if stage is not None:
+            config = stage_config(stage)
+        self.config = config if config is not None else DuetConfig()
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.reduction = reduction
+        self.sparsity = sparsity if sparsity is not None else SparsityModel()
+
+    def run(
+        self,
+        model: ModelSpec,
+        workloads: list[CnnLayerWorkload] | list[RnnLayerWorkload] | None = None,
+    ) -> ModelReport:
+        """Simulate a model; workloads are generated from ``sparsity`` when
+        not supplied explicitly.
+
+        Returns:
+            A :class:`~repro.sim.report.ModelReport`.
+        """
+        if model.domain == "cnn":
+            if workloads is None:
+                workloads = cnn_workloads(model, self.sparsity)
+            pipeline = CnnPipeline(self.config, self.energy_model, self.reduction)
+            return pipeline.run(model, workloads)
+        if workloads is None:
+            workloads = rnn_workloads(model, self.sparsity)
+        pipeline = RnnPipeline(self.config, self.energy_model, self.reduction)
+        return pipeline.run(model, workloads)
+
+    def run_batch(
+        self, model: ModelSpec, batch: int, base_seed: int = 0
+    ) -> list[ModelReport]:
+        """Simulate ``batch`` independent workload samples of ``model``.
+
+        Each sample redraws the sparsity maps with seed ``base_seed + i``
+        (the accelerator processes "batches of ifmap" sequentially, paper
+        Section IV-A); per-image variation gives confidence intervals for
+        the latency/energy estimates.
+
+        Returns:
+            One :class:`ModelReport` per sample.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        reports = []
+        for i in range(batch):
+            sparsity = replace(self.sparsity, seed=base_seed + i)
+            acc = DuetAccelerator(
+                config=self.config,
+                energy_model=self.energy_model,
+                reduction=self.reduction,
+                sparsity=sparsity,
+            )
+            reports.append(acc.run(model))
+        return reports
+
+    def area(self) -> AreaBreakdown:
+        """Structural area breakdown of this configuration (Table I)."""
+        return AreaModel(self.config).breakdown()

@@ -1,0 +1,139 @@
+"""Area model (paper Table I).
+
+The paper implements DUET in RTL and reports a component-level area
+breakdown whose headline structure is: on-chip memory buffers dominate,
+the Executor accounts for 40.0% of chip area, and the Speculator only
+6.6%.  We model area structurally -- every component's area is computed
+from its configured size using per-unit constants calibrated to 45 nm-class
+SRAM/logic densities -- so the design-space exploration (changing the
+systolic-array or PE-array size) moves the breakdown the way real RTL
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import DuetConfig
+
+__all__ = ["AreaModel", "AreaBreakdown"]
+
+#: mm^2 per KB of SRAM (CACTI-class 45 nm estimate).
+_SRAM_MM2_PER_KB = 0.004
+#: mm^2 per INT16 MAC (multiplier + adder + pipeline registers).
+_MAC16_MM2 = 0.004
+#: mm^2 per INT4 MAC in the systolic array.
+_MAC4_MM2 = 0.0004
+#: per-PE local buffer capacity in KB (ifmap/filter/psum/map slices).
+_PE_LOCAL_KB = 2.0
+#: per-PE instruction LUT + local control.
+_PE_CTRL_MM2 = 0.001
+#: one projection adder-tree lane (alignment units + CSA tree).
+_ADDER_LANE_MM2 = 0.003
+#: quantizer + dequantizer pair.
+_QUANT_MM2 = 0.02
+#: multi-function unit (ReLU/sigmoid/tanh LUT-based).
+_MFU_MM2 = 0.05
+#: reorder unit (1-bit adder trees + bucket buffers).
+_REORDER_MM2 = 0.05
+#: speculator-side SRAM (projection matrix, QDR weight, activation, QDR
+#: input buffers) in KB.
+_SPECULATOR_SRAM_KB = 42.0
+#: one NoC X-bus with its multicast controllers.
+_XBUS_MM2 = 0.01
+#: the vertical Y-bus.
+_YBUS_MM2 = 0.02
+#: global control / configuration scan chain.
+_GLOBAL_CTRL_MM2 = 0.1
+
+
+@dataclass
+class AreaBreakdown:
+    """Component areas in mm^2 (Table I rows)."""
+
+    glb: float
+    executor_pes: float
+    executor_local_buffers: float
+    speculator_systolic: float
+    speculator_buffers: float
+    speculator_support: float
+    noc: float
+    control: float
+
+    @property
+    def executor_total(self) -> float:
+        """Executor area: PEs + their local buffers."""
+        return self.executor_pes + self.executor_local_buffers
+
+    @property
+    def speculator_total(self) -> float:
+        """Speculator area: systolic array + buffers + support logic."""
+        return (
+            self.speculator_systolic
+            + self.speculator_buffers
+            + self.speculator_support
+        )
+
+    @property
+    def total(self) -> float:
+        """Whole-chip area."""
+        return (
+            self.glb
+            + self.executor_total
+            + self.speculator_total
+            + self.noc
+            + self.control
+        )
+
+    def fraction(self, component_area: float) -> float:
+        """Share of total area for a component value."""
+        return component_area / self.total
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """Table I-style rows: ``(component, mm^2, fraction)``."""
+        rows = [
+            ("Global Buffer (1MB SRAM)", self.glb),
+            ("Executor PE array", self.executor_pes),
+            ("Executor local buffers", self.executor_local_buffers),
+            ("Speculator systolic array", self.speculator_systolic),
+            ("Speculator buffers", self.speculator_buffers),
+            ("Speculator support logic", self.speculator_support),
+            ("NoC", self.noc),
+            ("Control", self.control),
+        ]
+        return [(name, area, self.fraction(area)) for name, area in rows]
+
+
+class AreaModel:
+    """Structural area estimator for a :class:`DuetConfig`."""
+
+    def __init__(self, config: DuetConfig | None = None):
+        self.config = config if config is not None else DuetConfig()
+
+    def breakdown(self) -> AreaBreakdown:
+        """Compute the component-level area breakdown."""
+        cfg = self.config
+        glb = (cfg.glb_bytes / 1024.0) * _SRAM_MM2_PER_KB
+        executor_pes = cfg.num_pes * (_MAC16_MM2 + _PE_CTRL_MM2)
+        executor_local = cfg.num_pes * _PE_LOCAL_KB * _SRAM_MM2_PER_KB
+        systolic = cfg.speculator_macs_per_cycle * _MAC4_MM2
+        spec_buffers = _SPECULATOR_SRAM_KB * _SRAM_MM2_PER_KB * (
+            cfg.speculator_macs_per_cycle / (16 * 32)
+        )
+        spec_support = (
+            cfg.adder_tree_lanes * _ADDER_LANE_MM2
+            + _QUANT_MM2
+            + _MFU_MM2
+            + _REORDER_MM2
+        )
+        noc = (cfg.executor_rows + 1) * _XBUS_MM2 + _YBUS_MM2
+        return AreaBreakdown(
+            glb=glb,
+            executor_pes=executor_pes,
+            executor_local_buffers=executor_local,
+            speculator_systolic=systolic,
+            speculator_buffers=spec_buffers,
+            speculator_support=spec_support,
+            noc=noc,
+            control=_GLOBAL_CTRL_MM2,
+        )

@@ -1,0 +1,58 @@
+"""Off-chip DRAM model: bandwidth latency and access accounting.
+
+RNN execution is dominated by cyclically re-fetching weight matrices from
+DRAM (paper Section IV-B); the dynamic switching maps let DUET fetch only
+the rows belonging to sensitive output neurons.  This model converts byte
+traffic to cycles at a configured bandwidth and keeps cumulative counters
+for the energy model.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Dram"]
+
+
+class Dram:
+    """Bandwidth model of the off-chip memory interface.
+
+    Attributes:
+        bandwidth: bytes per cycle at the accelerator clock.
+        bytes_read / bytes_written: cumulative traffic counters.
+    """
+
+    def __init__(self, bandwidth: int):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def reset(self) -> None:
+        """Zero the traffic counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, num_bytes: int) -> int:
+        """Record a read; returns the cycles it occupies the interface."""
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        self.bytes_read += num_bytes
+        return self.cycles_for(num_bytes)
+
+    def write(self, num_bytes: int) -> int:
+        """Record a write; returns the cycles it occupies the interface."""
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        self.bytes_written += num_bytes
+        return self.cycles_for(num_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """All traffic recorded so far."""
+        return self.bytes_read + self.bytes_written
+
+    def cycles_for(self, num_bytes: int) -> int:
+        """Cycles to move ``num_bytes`` at the configured bandwidth."""
+        return math.ceil(num_bytes / self.bandwidth)

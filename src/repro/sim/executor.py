@@ -1,0 +1,211 @@
+"""Executor cycle model: the 16x16 INT16 PE array (paper Section III-C).
+
+For CNNs the array maps one output channel per PE row (Section IV-A); per
+scheduling step the slowest row gates progress, which is where
+output-switching imbalance shows up.  For RNNs each PE row computes one
+dot product between a weight-matrix row and the input vector
+(Section IV-B, Fig. 9c/d), so skipping an insensitive neuron removes an
+entire row of work and there is no imbalance by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.layer_spec import RNNSpec
+from repro.sim.config import DuetConfig
+from repro.sim.mapping import adaptive_schedule, naive_schedule, schedule_cycles
+from repro.workloads.sparsity import CnnLayerWorkload
+
+__all__ = ["ExecutorModel", "CnnExecutionCost", "RnnGateCost"]
+
+
+@dataclass
+class CnnExecutionCost:
+    """Executor account for one CONV layer (one image).
+
+    Attributes:
+        cycles: total Executor cycles.
+        executed_macs: INT16 MACs actually performed.
+        dense_macs: MACs a no-skipping baseline performs.
+        utilization: executed MACs over cycle-capacity of the array.
+        schedule: the channel groups executed per step.
+    """
+
+    cycles: int
+    executed_macs: int
+    dense_macs: int
+    utilization: float
+    schedule: list[list[int]]
+
+
+@dataclass
+class RnnGateCost:
+    """Executor account for one RNN gate at one time step.
+
+    Attributes:
+        compute_cycles: cycles spent on the sparse GEMV.
+        executed_macs: INT16 MACs performed.
+        dense_macs: MACs without row skipping.
+        weight_words: weight words consumed (equals the DRAM fetch volume).
+    """
+
+    compute_cycles: int
+    executed_macs: int
+    dense_macs: int
+    weight_words: int
+
+
+class ExecutorModel:
+    """Cycle model of the Executor PE array."""
+
+    def __init__(self, config: DuetConfig | None = None):
+        self.config = config if config is not None else DuetConfig()
+
+    def cnn_layer(self, workload: CnnLayerWorkload) -> CnnExecutionCost:
+        """Execute one CONV layer under the configured feature flags.
+
+        With output switching off, every output position is computed at
+        full receptive-field cost.  With it on, only sensitive outputs run,
+        costed per position: full receptive field (OS) or the busiest
+        per-PE slice of nonzero inputs (IOS -- the within-row imbalance of
+        Section IV-A).  Adaptive mapping reorders the channel sequence by
+        the Reorder Unit's switching-index sums.
+        """
+        cfg = self.config
+        spec = workload.spec
+        out_sw = cfg.enable_output_switching
+        in_sw = cfg.enable_input_switching and out_sw
+        tile_cycles = workload.channel_tile_cycles(
+            cfg.executor_cols, out_sw, in_sw, cfg.executor_step_positions
+        )
+        channel_macs = workload.channel_macs(out_sw, in_sw)
+        if cfg.enable_adaptive_mapping and out_sw:
+            # Window-granular regrouping: the Reorder Unit sums switching
+            # indices per (channel, window of several tiles), buckets the
+            # sums against interval thresholds, and the resulting channel
+            # grouping holds for every tile of the window (Section IV-A).
+            counts = workload.channel_tile_switch_counts(
+                cfg.executor_step_positions
+            ).astype(np.float64)
+            num_tiles = counts.shape[1]
+            window = cfg.reorder_window_tiles
+            num_windows = -(-num_tiles // window)
+            pad_t = num_windows * window - num_tiles
+            if pad_t:
+                counts = np.pad(counts, ((0, 0), (0, pad_t)))
+            window_counts = counts.reshape(-1, num_windows, window).sum(axis=2)
+            hi = window_counts.max()
+            if hi > 0 and cfg.reorder_buckets:
+                edges = np.linspace(0.0, hi, cfg.reorder_buckets + 1)[1:-1]
+                window_counts = np.searchsorted(edges, window_counts).astype(
+                    np.float64
+                )
+            window_order = np.argsort(-window_counts, axis=0, kind="stable")
+            order = np.repeat(window_order, window, axis=1)[:, :num_tiles]
+            ordered = np.take_along_axis(tile_cycles, order, axis=0)
+            schedule = adaptive_schedule(
+                workload.channel_switch_counts(),
+                cfg.executor_rows,
+                buckets=cfg.reorder_buckets,
+            )
+        else:
+            ordered = tile_cycles
+            schedule = naive_schedule(spec.out_channels, cfg.executor_rows)
+        # PE rows synchronise at every (group, spatial-tile) step; the step
+        # lasts as long as its slowest row.
+        rows = cfg.executor_rows
+        num_channels = ordered.shape[0]
+        pad = (-num_channels) % rows
+        if pad:
+            ordered = np.pad(ordered, ((0, pad), (0, 0)))
+        grouped = ordered.reshape(-1, rows, ordered.shape[1])
+        cycles = int(grouped.max(axis=1).sum())
+        executed = int(channel_macs.sum())
+        capacity = float(cycles) * cfg.executor_rows * cfg.executor_cols
+        utilization = executed / capacity if capacity > 0 else 1.0
+        return CnnExecutionCost(
+            cycles=cycles,
+            executed_macs=executed,
+            dense_macs=spec.macs,
+            utilization=utilization,
+            schedule=schedule,
+        )
+
+    def fc_layer(self, spec, sensitive_rows: int, input_nonzeros: int | None = None):
+        """Execute one FC layer's sparse GEMV (one input vector).
+
+        Same row mapping as the RNN path (one output neuron per PE row);
+        ``input_nonzeros`` additionally shortens each dot product under
+        input switching.
+
+        Returns:
+            An :class:`RnnGateCost` (the account is structurally the same).
+        """
+        cfg = self.config
+        if not 0 <= sensitive_rows <= spec.out_features:
+            raise ValueError(
+                f"sensitive_rows {sensitive_rows} outside [0, {spec.out_features}]"
+            )
+        row_len = spec.in_features
+        effective_len = (
+            input_nonzeros if input_nonzeros is not None else row_len
+        )
+        waves = math.ceil(sensitive_rows / cfg.executor_rows)
+        wave_cycles = math.ceil(effective_len / cfg.executor_cols) + math.ceil(
+            math.log2(max(2, cfg.executor_cols))
+        )
+        executed = sensitive_rows * effective_len
+        return RnnGateCost(
+            compute_cycles=waves * wave_cycles if sensitive_rows else 0,
+            executed_macs=executed,
+            dense_macs=spec.out_features * row_len,
+            weight_words=sensitive_rows * row_len,
+        )
+
+    def rnn_gate(self, spec: RNNSpec, sensitive_rows: int) -> RnnGateCost:
+        """Execute one gate's sparse GEMV.
+
+        Each PE row handles one sensitive output neuron's dot product of
+        length ``D + H`` split across the row's PEs; ``ceil(sens / rows)``
+        row-waves are needed.
+
+        Args:
+            spec: the recurrent layer shape.
+            sensitive_rows: neurons the switching map marks sensitive (the
+                dense case passes ``hidden_size``).
+        """
+        cfg = self.config
+        if not 0 <= sensitive_rows <= spec.hidden_size:
+            raise ValueError(
+                f"sensitive_rows {sensitive_rows} outside [0, {spec.hidden_size}]"
+            )
+        row_len = spec.input_size + spec.hidden_size
+        waves = math.ceil(sensitive_rows / cfg.executor_rows)
+        # one wave: each row accumulates row_len MACs over cols PEs, plus a
+        # log-depth cross-PE reduction
+        wave_cycles = math.ceil(row_len / cfg.executor_cols) + math.ceil(
+            math.log2(max(2, cfg.executor_cols))
+        )
+        executed = sensitive_rows * row_len
+        return RnnGateCost(
+            compute_cycles=waves * wave_cycles,
+            executed_macs=executed,
+            dense_macs=spec.hidden_size * row_len,
+            weight_words=executed,
+        )
+
+    def cycles_for(
+        self, channel_cycles: np.ndarray, adaptive: bool
+    ) -> int:
+        """Convenience: total cycles for raw per-channel row cycles."""
+        cfg = self.config
+        cycles = np.asarray(channel_cycles)
+        if adaptive:
+            schedule = adaptive_schedule(cycles, cfg.executor_rows)
+        else:
+            schedule = naive_schedule(cycles.shape[0], cfg.executor_rows)
+        return schedule_cycles(cycles, schedule)

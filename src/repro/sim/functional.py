@@ -1,0 +1,199 @@
+"""Functional Executor-array simulation: actually run a CONV layer.
+
+The analytical models in :mod:`repro.sim.executor` estimate cycles from
+workload statistics.  This module closes the loop with a *functional*
+simulation: a 2D array of :class:`~repro.sim.pe.PE` objects executes a
+real convolution through MAC-instruction LUTs, with OMap/IMap tag bits and
+the channel-per-row mapping of paper Fig. 7a, delivering data over the
+:class:`~repro.sim.noc.MulticastNoc`.
+
+It returns both the numerically exact output feature map (so tests can
+diff it against :class:`repro.nn.layers.Conv2d`) and per-PE cycle counts
+(so tests can verify that skipping and imbalance behave the way the
+analytical model assumes).  It is built for small layers -- it runs each
+MAC in Python -- and is the ground truth the fast model is validated
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.sim.config import DuetConfig
+from repro.sim.noc import MulticastNoc
+from repro.sim.pe import PE, MacInstruction
+
+__all__ = ["FunctionalExecutorArray", "FunctionalRunResult"]
+
+
+@dataclass
+class FunctionalRunResult:
+    """Outcome of one functional layer execution.
+
+    Attributes:
+        output: pre-activation ofmap of shape ``(C_out, H', W')``; entries
+            whose switching bit is 0 are exactly zero (never computed).
+        total_cycles: sum over steps of the slowest row's cycles (rows
+            synchronise per scheduling step, as in the cycle model).
+        row_cycles: per-PE-row busy cycles, shape ``(rows,)``.
+        macs_executed / macs_skipped: array-wide MAC counters.
+        noc: the multicast NoC with its delivery statistics.
+    """
+
+    output: np.ndarray
+    total_cycles: int
+    row_cycles: np.ndarray
+    macs_executed: int
+    macs_skipped: int
+    noc: MulticastNoc
+
+
+class FunctionalExecutorArray:
+    """A functional ``rows x cols`` PE array running CONV layers.
+
+    The mapping follows paper Fig. 7a at row granularity: each scheduling
+    step assigns one output channel per PE row; the row's PEs split the
+    reduction dimension (receptive field) and the step lasts as long as
+    its busiest PE.  Tag bits derive from the OMap and IMap exactly as
+    :func:`repro.sim.pe.tag_instructions` does.
+
+    This is an executable specification, not a performance model: use
+    :class:`~repro.sim.executor.ExecutorModel` for large layers.
+    """
+
+    def __init__(self, config: DuetConfig | None = None):
+        self.config = config if config is not None else DuetConfig()
+        rows, cols = self.config.executor_rows, self.config.executor_cols
+        self.pes = [[PE() for _ in range(cols)] for _ in range(rows)]
+        self.noc = MulticastNoc(rows, cols)
+
+    def run_conv(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        omap: np.ndarray,
+        imap: np.ndarray | None = None,
+        stride: int = 1,
+        padding: int = 0,
+        schedule: list[list[int]] | None = None,
+    ) -> FunctionalRunResult:
+        """Execute one CONV layer functionally.
+
+        Args:
+            x: input of shape ``(C_in, H, W)`` (single image).
+            weight: filters of shape ``(C_out, C_in, k, k)``.
+            omap: switching map ``(C_out, H', W')`` -- 1 = compute.
+            imap: optional input sparsity map ``(C_in, H, W)``; when given,
+                MACs on zero-tagged inputs are skipped (their input values
+                are treated as zero, which the tags guarantee is lossless
+                only if the caller zeroed those inputs -- this method
+                enforces it by masking).
+            stride/padding: convolution geometry.
+            schedule: channel groups per scheduling step; defaults to the
+                naive in-order grouping.
+
+        Returns:
+            A :class:`FunctionalRunResult`.
+        """
+        cfg = self.config
+        rows, cols = cfg.executor_rows, cfg.executor_cols
+        x = np.asarray(x, dtype=np.float64)
+        weight = np.asarray(weight, dtype=np.float64)
+        c_out, c_in, kh, kw = weight.shape
+        if x.shape[0] != c_in:
+            raise ValueError(f"input channels {x.shape[0]} != filter {c_in}")
+        if kh != kw:
+            raise ValueError("functional array supports square kernels only")
+        out_h = F.conv_output_size(x.shape[1], kh, stride, padding)
+        out_w = F.conv_output_size(x.shape[2], kw, stride, padding)
+        if omap.shape != (c_out, out_h, out_w):
+            raise ValueError(
+                f"omap shape {omap.shape} != {(c_out, out_h, out_w)}"
+            )
+        if imap is not None:
+            if imap.shape != x.shape:
+                raise ValueError(f"imap shape {imap.shape} != {x.shape}")
+            x = x * imap  # enforce the lossless-skip precondition
+
+        # receptive-field columns (positions x C_in*k*k) and their masks
+        cols_mat = F.im2col(x[None], (kh, kw), stride, padding)
+        if imap is not None:
+            mask_mat = F.im2col(
+                imap[None].astype(np.float64), (kh, kw), stride, padding
+            ).astype(bool)
+        else:
+            mask_mat = np.ones_like(cols_mat, dtype=bool)
+        flat_weights = weight.reshape(c_out, -1)
+        receptive = c_in * kh * kw
+        positions = out_h * out_w
+
+        # static per-position instruction schedule: PE j of a row handles
+        # reduction slice [j*slice_len, (j+1)*slice_len)
+        slice_len = -(-receptive // cols)
+        if schedule is None:
+            schedule = [
+                list(range(start, min(start + rows, c_out)))
+                for start in range(0, c_out, rows)
+            ]
+
+        output = np.zeros((c_out, positions))
+        flat_omap = np.asarray(omap).reshape(c_out, positions).astype(bool)
+        row_cycles = np.zeros(rows, dtype=np.int64)
+        total_cycles = 0
+        for pe_row in self.pes:
+            for pe in pe_row:
+                pe.reset()
+
+        for group in schedule:
+            # weights multicast: each row receives its channel's filter
+            self.noc.deliver(
+                receptive, set(range(len(group))), set(range(cols))
+            )
+            step_row_cycles = np.zeros(rows, dtype=np.int64)
+            for row_idx, channel in enumerate(group):
+                pe_row = self.pes[row_idx]
+                w_flat = flat_weights[channel]
+                for pos in range(positions):
+                    if not flat_omap[channel, pos]:
+                        for pe in pe_row:
+                            pe.macs_skipped += slice_len
+                        continue
+                    # ifmap slice broadcast to the row
+                    self.noc.deliver(receptive, {row_idx}, set(range(cols)))
+                    acc = 0.0
+                    pe_costs = np.zeros(cols, dtype=np.int64)
+                    for j, pe in enumerate(pe_row):
+                        lo = j * slice_len
+                        hi = min(receptive, lo + slice_len)
+                        if lo >= receptive:
+                            break
+                        pe.load_tile(
+                            cols_mat[pos, lo:hi], w_flat[lo:hi], psum_size=1
+                        )
+                        instructions = [
+                            MacInstruction(ia=i, w=i, oa=0)
+                            for i in range(hi - lo)
+                        ]
+                        tags = mask_mat[pos, lo:hi]
+                        psum = pe.run(instructions, tags)
+                        acc += psum[0]
+                        pe_costs[j] = int(tags.sum())
+                    output[channel, pos] = acc
+                    # the position completes when the busiest PE finishes
+                    step_row_cycles[row_idx] += int(pe_costs.max())
+            row_cycles += step_row_cycles
+            total_cycles += int(step_row_cycles.max()) if len(group) else 0
+
+        executed = sum(pe.macs_executed for row in self.pes for pe in row)
+        skipped = sum(pe.macs_skipped for row in self.pes for pe in row)
+        return FunctionalRunResult(
+            output=output.reshape(c_out, out_h, out_w),
+            total_cycles=total_cycles,
+            row_cycles=row_cycles,
+            macs_executed=executed,
+            macs_skipped=skipped,
+            noc=self.noc,
+        )

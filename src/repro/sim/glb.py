@@ -1,0 +1,67 @@
+"""Global buffer (GLB) model: capacity, bandwidth, access accounting.
+
+DUET's GLB is a 1 MB SRAM with 512 B/cycle of aggregate bandwidth feeding
+the Executor and the Speculator (paper Section III-A).  Besides
+input/weight/output data it holds the Speculator's weights, switching
+maps, mapping configurations, and (for RNNs) dequantized approximate
+results.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["GlobalBuffer"]
+
+
+class GlobalBuffer:
+    """Bandwidth/occupancy model of the on-chip global buffer.
+
+    Attributes:
+        capacity: bytes of storage.
+        bandwidth: bytes per cycle (shared by all clients).
+        bytes_read / bytes_written: cumulative traffic counters.
+    """
+
+    def __init__(self, capacity: int, bandwidth: int):
+        if capacity <= 0 or bandwidth <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        self.capacity = capacity
+        self.bandwidth = bandwidth
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def reset(self) -> None:
+        """Zero the traffic counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, num_bytes: int) -> None:
+        """Record a read of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        self.bytes_read += num_bytes
+
+    def write(self, num_bytes: int) -> None:
+        """Record a write of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        self.bytes_written += num_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """All traffic recorded so far."""
+        return self.bytes_read + self.bytes_written
+
+    def cycles_for(self, num_bytes: int) -> int:
+        """Cycles the GLB needs to move ``num_bytes``."""
+        return math.ceil(num_bytes / self.bandwidth)
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether a working set of ``num_bytes`` fits in the GLB.
+
+        Used by the RNN dataflow to decide that 1024-wide gate matrices
+        (2 MB each at 16 bits) cannot be resident and must stream from
+        DRAM every time step (paper Section IV-B).
+        """
+        return num_bytes <= self.capacity

@@ -1,0 +1,85 @@
+"""Network-on-chip model: Eyeriss-style X/Y multicast buses.
+
+DUET's NoC (paper Section III-A) has one vertical Y-bus driving 17
+horizontal X-buses -- 16 for the Executor's PE rows and one for the
+Speculator.  Data words carry a ``(row, col)`` ID; multicast controllers
+compare IDs and deactivate unmatched buses/PEs to save energy.
+
+The model delivers words to target sets, counting bus transactions (one
+per X-bus touched per word, plus the Y-bus hop) and tallying how many
+PE-side receivers were activated vs. deactivated -- the quantity the
+energy model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MulticastNoc", "DeliveryStats"]
+
+
+@dataclass
+class DeliveryStats:
+    """Counters for one delivery batch.
+
+    Attributes:
+        y_bus_transactions: words pushed down the Y-bus.
+        x_bus_transactions: (word, X-bus) activations.
+        receivers_activated: PE receivers that matched the col ID.
+        receivers_deactivated: PE receivers skipped by ID mismatch.
+    """
+
+    y_bus_transactions: int = 0
+    x_bus_transactions: int = 0
+    receivers_activated: int = 0
+    receivers_deactivated: int = 0
+
+
+class MulticastNoc:
+    """ID-matched multicast delivery over X/Y buses.
+
+    Args:
+        rows: number of Executor X-buses (16 in the paper; the Speculator's
+            extra X-bus is modelled as row index ``rows``).
+        cols: PEs per X-bus.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.stats = DeliveryStats()
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.stats = DeliveryStats()
+
+    def deliver(self, num_words: int, target_rows: set[int], target_cols: set[int]) -> int:
+        """Multicast ``num_words`` to the (row, col) cross product.
+
+        Each word takes one Y-bus transaction and one transaction on every
+        matched X-bus; unmatched X-buses and PEs are deactivated.  Returns
+        the cycle cost assuming one Y-bus word per cycle.
+
+        Raises:
+            ValueError: if a target is outside the array (the Speculator's
+                X-bus is row index ``rows``).
+        """
+        if num_words < 0:
+            raise ValueError("negative word count")
+        for row in target_rows:
+            if not 0 <= row <= self.rows:
+                raise ValueError(f"row {row} outside [0, {self.rows}]")
+        for col in target_cols:
+            if not 0 <= col < self.cols:
+                raise ValueError(f"col {col} outside [0, {self.cols})")
+        matched_rows = len(target_rows)
+        matched_cols = len(target_cols)
+        self.stats.y_bus_transactions += num_words
+        self.stats.x_bus_transactions += num_words * matched_rows
+        self.stats.receivers_activated += num_words * matched_rows * matched_cols
+        self.stats.receivers_deactivated += num_words * matched_rows * (
+            self.cols - matched_cols
+        )
+        return num_words  # Y-bus is the serialisation point

@@ -1,0 +1,167 @@
+"""Processing Element with a MAC-instruction LUT (paper Section III-C).
+
+Each Executor PE stores its tile schedule as micro-instructions: every
+MAC names an input-activation (IA) index, a weight (W) index and an
+output-activation (OA) index into the PE-local buffers, plus a 1-bit tag.
+Because a layer is processed in tiles of a fixed shape, the *indices* are
+generated once at layer configuration and shared by all PEs; only the tag
+bits change per tile, derived from the OMap and IMap with simple Boolean
+logic.  MACs with tag 0 are skipped entirely.
+
+This module is a *functional* model: :class:`PE` really executes the
+tagged instruction stream over local buffers and returns both the computed
+partial sums and the cycle count, so tests can prove that skipping
+preserves numerical results while saving cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MacInstruction", "generate_tile_instructions", "tag_instructions", "PE"]
+
+
+@dataclass(frozen=True)
+class MacInstruction:
+    """One micro-instruction: ``psum[oa] += input[ia] * weight[w]``.
+
+    Attributes:
+        ia: index into the PE's input-activation buffer.
+        w: index into the PE's weight buffer.
+        oa: index into the PE's output (psum) buffer.
+    """
+
+    ia: int
+    w: int
+    oa: int
+
+
+def generate_tile_instructions(
+    tile_h: int,
+    tile_w: int,
+    kernel: int,
+    out_w: int,
+) -> list[MacInstruction]:
+    """Instruction schedule for a 1-row conv output tile.
+
+    Mirrors the paper's Fig. 6 example: the PE holds a ``tile_h x tile_w``
+    input tile and a ``kernel x kernel`` filter tile, and produces a
+    ``1 x out_w`` psum row (stride 1).  Instructions are emitted
+    output-major so that OMap tagging maps to contiguous runs.
+
+    Args:
+        tile_h/tile_w: input tile shape held in the PE.
+        kernel: square filter size.
+        out_w: number of output positions in the row.
+
+    Returns:
+        ``out_w * kernel * kernel`` instructions.
+    """
+    if tile_h < kernel or tile_w < kernel + out_w - 1:
+        raise ValueError(
+            f"input tile {tile_h}x{tile_w} too small for kernel {kernel} "
+            f"and {out_w} outputs"
+        )
+    instructions = []
+    for out_x in range(out_w):
+        for ky in range(kernel):
+            for kx in range(kernel):
+                ia = ky * tile_w + (out_x + kx)
+                w = ky * kernel + kx
+                instructions.append(MacInstruction(ia=ia, w=w, oa=out_x))
+    return instructions
+
+
+def tag_instructions(
+    instructions: list[MacInstruction],
+    omap_tile: np.ndarray,
+    imap_tile: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute the per-instruction tag bits from OMap and IMap tiles.
+
+    An instruction is live iff its output is sensitive (OMap 1) *and*, if
+    an IMap is supplied, its input activation is nonzero (the paper's
+    "simple Boolean logic" combining both maps).
+
+    Args:
+        instructions: the shared layer schedule.
+        omap_tile: flat output-tile switching bits.
+        imap_tile: optional flat input-tile sparsity bits.
+
+    Returns:
+        Boolean array of tags aligned with ``instructions``.
+    """
+    omap_tile = np.asarray(omap_tile).reshape(-1).astype(bool)
+    tags = np.empty(len(instructions), dtype=bool)
+    if imap_tile is not None:
+        imap_tile = np.asarray(imap_tile).reshape(-1).astype(bool)
+    for idx, inst in enumerate(instructions):
+        live = omap_tile[inst.oa]
+        if live and imap_tile is not None:
+            live = bool(imap_tile[inst.ia])
+        tags[idx] = live
+    return tags
+
+
+class PE:
+    """A functional Executor PE.
+
+    Holds input/weight/psum local buffers, executes a tagged instruction
+    stream, and counts cycles: one cycle per *live* MAC (the pipelined
+    16-bit multiplier-adder retires one MAC per cycle; tagged-off
+    instructions are squashed by the local control at zero cost, as the
+    LUT lookup happens a cycle ahead).
+
+    Attributes:
+        cycles: cycles consumed since construction or :meth:`reset`.
+        macs_executed: live MACs executed.
+        macs_skipped: instructions skipped via tag bits.
+    """
+
+    def __init__(self):
+        self.cycles = 0
+        self.macs_executed = 0
+        self.macs_skipped = 0
+        self.input_buffer = np.zeros(0)
+        self.weight_buffer = np.zeros(0)
+        self.psum_buffer = np.zeros(0)
+
+    def reset(self) -> None:
+        """Clear counters (buffers are overwritten by :meth:`load_tile`)."""
+        self.cycles = 0
+        self.macs_executed = 0
+        self.macs_skipped = 0
+
+    def load_tile(
+        self, inputs: np.ndarray, weights: np.ndarray, psum_size: int
+    ) -> None:
+        """Load a tile into the local buffers (psums start at zero)."""
+        self.input_buffer = np.asarray(inputs, dtype=np.float64).reshape(-1)
+        self.weight_buffer = np.asarray(weights, dtype=np.float64).reshape(-1)
+        self.psum_buffer = np.zeros(psum_size)
+
+    def run(
+        self, instructions: list[MacInstruction], tags: np.ndarray
+    ) -> np.ndarray:
+        """Execute the tagged schedule; returns the psum buffer.
+
+        Raises:
+            ValueError: if ``tags`` and ``instructions`` lengths differ.
+        """
+        tags = np.asarray(tags, dtype=bool)
+        if tags.shape[0] != len(instructions):
+            raise ValueError(
+                f"{len(instructions)} instructions but {tags.shape[0]} tags"
+            )
+        for inst, tag in zip(instructions, tags):
+            if not tag:
+                self.macs_skipped += 1
+                continue
+            self.psum_buffer[inst.oa] += (
+                self.input_buffer[inst.ia] * self.weight_buffer[inst.w]
+            )
+            self.cycles += 1
+            self.macs_executed += 1
+        return self.psum_buffer.copy()

@@ -1,0 +1,339 @@
+"""Dataflow pipelines: CNN layer pipeline and RNN gate-level pipeline.
+
+Implements paper Section IV:
+
+- **CNNs** (IV-A): the Executor computes layer L tile by tile while the
+  Speculator uses the finished tiles to speculate layer L+1's switching
+  maps, so speculation latency is hidden unless the Speculator is the
+  slower unit.  DRAM transfers double-buffer against compute.
+- **RNNs** (IV-B): execution proceeds element by element, gate by gate.
+  Speculation for gate g+1 runs during execution of gate g; only the
+  input gate's speculation is exposed each step (its inputs depend on the
+  previous step's hidden state).  Sensitive rows of each gate's weight
+  matrix stream from DRAM; insensitive rows are never fetched.
+"""
+
+from __future__ import annotations
+
+from repro.models.layer_spec import BYTES_PER_ELEMENT, ModelSpec
+from repro.sim.config import DuetConfig
+from repro.sim.dram import Dram
+from repro.sim.energy import EnergyBreakdown, EnergyModel
+from repro.sim.executor import ExecutorModel
+from repro.sim.glb import GlobalBuffer
+from repro.sim.report import LayerReport, ModelReport
+from repro.sim.speculator import SpeculatorModel
+from repro.sim.tiling import choose_tiling
+from repro.workloads.sparsity import (
+    CnnLayerWorkload,
+    FcLayerWorkload,
+    RnnLayerWorkload,
+)
+
+__all__ = ["CnnPipeline", "RnnPipeline"]
+
+#: local-buffer accesses charged per executed MAC (operand read + psum
+#: read-modify-write amortised under row-stationary reuse).
+_LOCAL_ACCESSES_PER_MAC = 2.0
+
+
+class CnnPipeline:
+    """Layer-pipelined CNN execution (paper Section IV-A)."""
+
+    def __init__(
+        self,
+        config: DuetConfig | None = None,
+        energy_model: EnergyModel | None = None,
+        reduction: float = 0.125,
+    ):
+        self.config = config if config is not None else DuetConfig()
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.reduction = reduction
+        self.executor = ExecutorModel(self.config)
+        self.speculator = SpeculatorModel(self.config)
+
+    def _speculation_for(self, workload):
+        """Speculation cost of producing ``workload``'s switching maps."""
+        cfg = self.config
+        if isinstance(workload, FcLayerWorkload):
+            return self.speculator.fc_layer(workload.spec, self.reduction)
+        return self.speculator.cnn_layer(
+            workload.spec, self.reduction, with_reorder=cfg.enable_adaptive_mapping
+        )
+
+    def _conv_costs(self, workload: CnnLayerWorkload):
+        """(exec cycles, executed, dense, util, dram read words, write words).
+
+        Off-chip traffic follows the GLB-constrained tiling of
+        :mod:`repro.sim.tiling`: layers whose working set exceeds the GLB
+        re-fetch the ifmap per output-channel group and/or spill psums,
+        exactly as a real configuration generator would schedule them.
+        """
+        spec = workload.spec
+        cost = self.executor.cnn_layer(workload)
+        # ~10% of the GLB is reserved for Speculator data (QDR weights,
+        # switching maps, mapping configuration -- paper Section III-A)
+        usable = int(self.config.glb_bytes * 0.9)
+        tiling = choose_tiling(spec, usable)
+        return (
+            cost.cycles,
+            cost.executed_macs,
+            cost.dense_macs,
+            cost.utilization,
+            tiling.dram_read_words,
+            tiling.dram_write_words,
+        )
+
+    def _fc_costs(self, workload: FcLayerWorkload):
+        """FC layers are weight-row gated like RNN gates (Section VI)."""
+        cfg = self.config
+        spec = workload.spec
+        if cfg.enable_output_switching:
+            sensitive = workload.sensitive_count
+        else:
+            sensitive = spec.out_features
+        nonzeros = None
+        if cfg.enable_input_switching and cfg.enable_output_switching:
+            nonzeros = int(workload.imap.sum())
+        cost = self.executor.fc_layer(spec, sensitive, input_nonzeros=nonzeros)
+        # only the sensitive rows' weights stream from DRAM
+        read_words = spec.in_features + cost.weight_words
+        write_words = spec.out_features
+        capacity = cost.compute_cycles * cfg.num_pes
+        util = cost.executed_macs / capacity if capacity else 1.0
+        return (
+            cost.compute_cycles,
+            cost.executed_macs,
+            cost.dense_macs,
+            util,
+            read_words,
+            write_words,
+        )
+
+    def run(self, model: ModelSpec, workloads: list) -> ModelReport:
+        """Simulate the (CONV and optionally FC) layers of ``model``.
+
+        Args:
+            model: the model spec (used for naming and speculation shapes).
+            workloads: one :class:`CnnLayerWorkload` per CONV layer, in
+                order, optionally followed by :class:`FcLayerWorkload`
+                entries for the classifier (see
+                :func:`repro.workloads.sparsity.cnn_workloads`).
+
+        Returns:
+            A :class:`ModelReport` with per-layer breakdowns.
+        """
+        cfg = self.config
+        dram = Dram(cfg.dram_bandwidth)
+        glb = GlobalBuffer(cfg.glb_bytes, cfg.glb_bandwidth)
+        report = ModelReport(model.name, cfg)
+        speculation_on = cfg.enable_output_switching
+
+        for i, workload in enumerate(workloads):
+            spec = workload.spec
+            if isinstance(workload, FcLayerWorkload):
+                (
+                    exec_cycles,
+                    executed,
+                    dense,
+                    utilization,
+                    read_words,
+                    write_words,
+                ) = self._fc_costs(workload)
+            else:
+                (
+                    exec_cycles,
+                    executed,
+                    dense,
+                    utilization,
+                    read_words,
+                    write_words,
+                ) = self._conv_costs(workload)
+
+            # Speculation task overlapped with this layer: switching maps
+            # for layer i+1 (paper Fig. 7); nothing to speculate after the
+            # last layer.
+            spec_cycles = 0
+            spec_energy_compute = 0.0
+            spec_energy_buffers = 0.0
+            if speculation_on and i + 1 < len(workloads):
+                spec_cost = self._speculation_for(workloads[i + 1])
+                spec_cycles = spec_cost.cycles
+                spec_energy_compute, spec_energy_buffers = spec_cost.energy(
+                    self.energy_model
+                )
+
+            dram_words = read_words + write_words
+            dram_bytes = dram_words * BYTES_PER_ELEMENT
+            memory_cycles = dram.read(read_words * BYTES_PER_ELEMENT) + dram.write(
+                write_words * BYTES_PER_ELEMENT
+            )
+
+            glb_words = dram_words + (
+                spec.output_elements // 8 if speculation_on else 0
+            )  # switching-map bits
+            glb.read(glb_words * BYTES_PER_ELEMENT)
+
+            if cfg.enable_pipeline:
+                compute_cycles = max(exec_cycles, spec_cycles)
+                exposed = max(0, spec_cycles - exec_cycles)
+            else:
+                compute_cycles = exec_cycles + spec_cycles
+                exposed = spec_cycles
+            total_cycles = max(compute_cycles, memory_cycles)
+
+            # every on-chip word moved traverses the Y-bus plus one X-bus
+            noc_hops = 2 * glb_words
+            energy = EnergyBreakdown(
+                executor_compute=executed * self.energy_model.mac_int16,
+                executor_local=executed
+                * _LOCAL_ACCESSES_PER_MAC
+                * self.energy_model.local_access,
+                speculator_compute=spec_energy_compute,
+                speculator_buffers=spec_energy_buffers,
+                glb=glb_words * self.energy_model.glb_access,
+                noc=noc_hops * self.energy_model.noc_hop,
+                dram=dram_words * self.energy_model.dram_access,
+            )
+            report.layers.append(
+                LayerReport(
+                    name=spec.name,
+                    executor_cycles=exec_cycles,
+                    speculator_cycles=spec_cycles,
+                    exposed_speculation_cycles=exposed,
+                    memory_cycles=memory_cycles,
+                    compute_cycles=compute_cycles,
+                    total_cycles=total_cycles,
+                    executed_macs=executed,
+                    dense_macs=dense,
+                    utilization=utilization,
+                    energy=energy,
+                    dram_bytes=dram_bytes,
+                )
+            )
+        return report
+
+
+class RnnPipeline:
+    """Gate-level pipelined RNN execution (paper Section IV-B)."""
+
+    def __init__(
+        self,
+        config: DuetConfig | None = None,
+        energy_model: EnergyModel | None = None,
+        reduction: float = 0.125,
+    ):
+        self.config = config if config is not None else DuetConfig()
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.reduction = reduction
+        self.executor = ExecutorModel(self.config)
+        self.speculator = SpeculatorModel(self.config)
+
+    def run(self, model: ModelSpec, workloads: list[RnnLayerWorkload]) -> ModelReport:
+        """Simulate the recurrent layers of ``model``.
+
+        Weight matrices of paper-scale RNN layers exceed the GLB, so every
+        gate's (sensitive rows of the) weight matrix streams from DRAM at
+        every time step; fetch overlaps compute via double buffering.
+        """
+        cfg = self.config
+        dram = Dram(cfg.dram_bandwidth)
+        glb = GlobalBuffer(cfg.glb_bytes, cfg.glb_bandwidth)
+        report = ModelReport(model.name, cfg)
+        switching = cfg.enable_output_switching
+
+        for workload in workloads:
+            spec = workload.spec
+            gate_weights_bytes = (
+                spec.hidden_size
+                * (spec.input_size + spec.hidden_size)
+                * BYTES_PER_ELEMENT
+            )
+            weights_resident = glb.fits(gate_weights_bytes * spec.num_gates)
+
+            layer_exec_cycles = 0
+            layer_spec_cycles = 0
+            layer_exposed = 0
+            layer_memory_cycles = 0
+            layer_compute_cycles = 0
+            layer_total = 0
+            layer_executed = 0
+            layer_dense = 0
+            layer_dram_words = 0
+            spec_compute_e = 0.0
+            spec_buffer_e = 0.0
+
+            if switching:
+                gate_spec_cost = self.speculator.rnn_gate(spec, self.reduction)
+
+            for t in range(spec.seq_len):
+                for g in range(spec.num_gates):
+                    sensitive = (
+                        int(workload.sensitive_counts[t, g])
+                        if switching
+                        else spec.hidden_size
+                    )
+                    gate_cost = self.executor.rnn_gate(spec, sensitive)
+                    # weight fetch: only sensitive rows come from DRAM
+                    # (plus once-per-layer residency if the GLB could hold
+                    # them, which paper-scale layers never satisfy)
+                    if weights_resident and t > 0:
+                        fetch_words = 0
+                    else:
+                        fetch_words = gate_cost.weight_words
+                    fetch_cycles = dram.read(fetch_words * BYTES_PER_ELEMENT)
+                    glb.write(fetch_words * BYTES_PER_ELEMENT)
+                    glb.read(gate_cost.weight_words * BYTES_PER_ELEMENT)
+
+                    exposed = 0
+                    if switching:
+                        layer_spec_cycles += gate_spec_cost.cycles
+                        # only the input gate's speculation is exposed
+                        if g == 0:
+                            exposed = gate_spec_cost.cycles
+                        compute_e, buffer_e = gate_spec_cost.energy(self.energy_model)
+                        spec_compute_e += compute_e
+                        spec_buffer_e += buffer_e
+
+                    compute_cycles = gate_cost.compute_cycles + exposed
+                    gate_total = max(compute_cycles, fetch_cycles)
+                    layer_exec_cycles += gate_cost.compute_cycles
+                    layer_exposed += exposed
+                    layer_memory_cycles += fetch_cycles
+                    layer_compute_cycles += compute_cycles
+                    layer_total += gate_total
+                    layer_executed += gate_cost.executed_macs
+                    layer_dense += gate_cost.dense_macs
+                    layer_dram_words += fetch_words
+
+            glb_words = (
+                layer_dram_words + layer_executed // max(1, cfg.executor_cols)
+            )
+            energy = EnergyBreakdown(
+                executor_compute=layer_executed * self.energy_model.mac_int16,
+                executor_local=layer_executed
+                * _LOCAL_ACCESSES_PER_MAC
+                * self.energy_model.local_access,
+                speculator_compute=spec_compute_e,
+                speculator_buffers=spec_buffer_e,
+                glb=glb_words * self.energy_model.glb_access,
+                noc=2 * glb_words * self.energy_model.noc_hop,
+                dram=layer_dram_words * self.energy_model.dram_access,
+            )
+            report.layers.append(
+                LayerReport(
+                    name=spec.name,
+                    executor_cycles=layer_exec_cycles,
+                    speculator_cycles=layer_spec_cycles,
+                    exposed_speculation_cycles=layer_exposed,
+                    memory_cycles=layer_memory_cycles,
+                    compute_cycles=layer_compute_cycles,
+                    total_cycles=layer_total,
+                    executed_macs=layer_executed,
+                    dense_macs=layer_dense,
+                    utilization=0.0,
+                    energy=energy,
+                    dram_bytes=layer_dram_words * BYTES_PER_ELEMENT,
+                )
+            )
+        return report

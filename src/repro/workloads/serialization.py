@@ -1,0 +1,62 @@
+"""Workload trace serialization: save/load switching maps as ``.npz``.
+
+Measured switching maps (from :func:`repro.workloads.trace_cnn_workloads`)
+are the repository's exchange format between the algorithm and
+architecture levels; persisting them lets one expensive dualized-model
+run feed many simulator experiments.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.models.layer_spec import ConvSpec
+from repro.workloads.sparsity import CnnLayerWorkload
+
+__all__ = ["save_cnn_workloads", "load_cnn_workloads"]
+
+_SPEC_FIELDS = (
+    "in_channels",
+    "out_channels",
+    "kernel",
+    "stride",
+    "padding",
+    "in_h",
+    "in_w",
+)
+
+
+def save_cnn_workloads(
+    workloads: list[CnnLayerWorkload], path: str | pathlib.Path
+) -> None:
+    """Persist a list of CONV workloads (specs + maps) to one archive."""
+    if not workloads:
+        raise ValueError("no workloads to save")
+    payload: dict[str, np.ndarray] = {
+        "names": np.array([w.spec.name for w in workloads]),
+        "geometry": np.array(
+            [[getattr(w.spec, f) for f in _SPEC_FIELDS] for w in workloads],
+            dtype=np.int64,
+        ),
+    }
+    for i, workload in enumerate(workloads):
+        payload[f"omap_{i}"] = workload.omap.astype(np.uint8)
+        payload[f"imap_{i}"] = workload.imap.astype(np.uint8)
+    np.savez_compressed(str(path), **payload)
+
+
+def load_cnn_workloads(path: str | pathlib.Path) -> list[CnnLayerWorkload]:
+    """Load workloads saved by :func:`save_cnn_workloads`."""
+    with np.load(str(path), allow_pickle=False) as archive:
+        names = archive["names"]
+        geometry = archive["geometry"]
+        workloads = []
+        for i, name in enumerate(names):
+            fields = dict(zip(_SPEC_FIELDS, (int(v) for v in geometry[i])))
+            spec = ConvSpec(str(name), **fields)
+            workloads.append(
+                CnnLayerWorkload(spec, archive[f"omap_{i}"], archive[f"imap_{i}"])
+            )
+    return workloads

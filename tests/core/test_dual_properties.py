@@ -1,0 +1,120 @@
+"""Hypothesis property tests on dual-module processing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ApproximateLinear,
+    DualModuleLinear,
+    distill_linear,
+)
+from repro.core.stats import LayerSavings
+from repro.core.switching import mix_outputs, switching_map
+from repro.nn import Linear
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def fitted_pair():
+    rng = np.random.default_rng(0)
+    lin = Linear(24, 12, rng=rng)
+    ap = ApproximateLinear(24, 12, 8, rng=rng)
+    distill_linear(lin, ap, rng.normal(size=(300, 24)))
+    return lin, ap
+
+
+class TestSwitchingProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(0, 10_000), st.floats(-2.0, 2.0))
+    def test_relu_threshold_monotone(self, seed, theta):
+        """Raising the ReLU threshold only removes sensitive outputs."""
+        y = np.random.default_rng(seed).normal(size=64)
+        low = switching_map(y, "relu", theta)
+        high = switching_map(y, "relu", theta + 0.5)
+        assert np.all(high <= low)
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_mixture_is_selection(self, seed):
+        """Every mixed value comes verbatim from one of the two sources."""
+        rng = np.random.default_rng(seed)
+        acc = rng.normal(size=32)
+        approx = rng.normal(size=32)
+        m = (rng.random(32) > 0.5).astype(np.uint8)
+        mixed = mix_outputs(acc, approx, m)
+        assert np.all((mixed == acc) | (mixed == approx))
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_complementary_maps_partition(self, seed):
+        """m and 1-m select disjoint, exhaustive index sets."""
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=64)
+        m = switching_map(y, "tanh", 1.0)
+        assert np.all((m == 0) | (m == 1))
+        assert m.sum() + (1 - m).sum() == 64
+
+
+class TestDualModuleProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000), st.floats(-1.5, 1.5))
+    def test_sensitive_outputs_always_exact(self, fitted_pair, seed, theta):
+        """For ANY threshold, sensitive outputs equal the accurate layer."""
+        lin, ap = fitted_pair
+        dual = DualModuleLinear(lin, ap, "relu", theta)
+        x = np.random.default_rng(seed).normal(size=(4, 24))
+        out, rep = dual(x)
+        ref = F.relu(lin(x))
+        mask = rep.switching_map.astype(bool)
+        np.testing.assert_allclose(out[mask], ref[mask], atol=1e-12)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000), st.floats(-1.5, 1.5))
+    def test_savings_accounting_conserves(self, fitted_pair, seed, theta):
+        """Executed + skipped work always partitions the dense work."""
+        lin, ap = fitted_pair
+        dual = DualModuleLinear(lin, ap, "relu", theta)
+        x = np.random.default_rng(seed).normal(size=(4, 24))
+        _, rep = dual(x)
+        s = rep.savings
+        assert 0 <= s.executed_macs <= s.dense_macs
+        assert 0 <= s.outputs_sensitive <= s.outputs_total
+        assert s.executed_macs == s.outputs_sensitive * lin.in_features
+        assert s.weight_reads <= s.dense_weight_reads
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_higher_threshold_never_more_sensitive(self, fitted_pair, seed):
+        lin, ap = fitted_pair
+        x = np.random.default_rng(seed).normal(size=(4, 24))
+        fractions = []
+        for theta in (-1.0, 0.0, 1.0):
+            _, rep = DualModuleLinear(lin, ap, "relu", theta)(x)
+            fractions.append(rep.savings.sensitive_fraction)
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+
+class TestLayerSavingsProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.integers(1, 10**9),
+        st.integers(0, 10**9),
+        st.integers(0, 10**7),
+        st.integers(0, 10**7),
+    )
+    def test_merge_is_componentwise_addition(self, dense, executed, spec, adds):
+        executed = min(executed, dense)
+        a = LayerSavings(
+            dense_macs=dense,
+            executed_macs=executed,
+            speculation_macs=spec,
+            speculation_additions=adds,
+        )
+        merged = a.merge(a)
+        assert merged.dense_macs == 2 * dense
+        assert merged.executed_macs == 2 * executed
+        # reductions are scale-invariant under self-merge
+        if executed + spec + adds:
+            assert merged.flops_reduction == pytest.approx(a.flops_reduction)

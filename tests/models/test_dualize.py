@@ -1,0 +1,193 @@
+"""Tests for dual-module conversion of trained proxies."""
+
+import numpy as np
+import pytest
+
+from repro.models.dualize import (
+    DualizedCNN,
+    DualizedLanguageModel,
+    DualizedSeq2Seq,
+    reduced_dim,
+)
+from repro.models.proxies import (
+    ProxyLanguageModel,
+    ProxySeq2Seq,
+    proxy_alexnet,
+    train_classifier,
+    train_language_model,
+    train_seq2seq,
+    evaluate_classifier,
+)
+from repro.nn.data import (
+    GaussianMixtureImages,
+    SyntheticTranslationTask,
+    ZipfTokenStream,
+)
+
+
+class TestReducedDim:
+    def test_basic(self):
+        assert reduced_dim(100, 0.25) == 25
+        assert reduced_dim(100, 1.0) == 100
+        assert reduced_dim(3, 0.1) == 1  # at least 1
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError, match="ratio"):
+            reduced_dim(10, 0.0)
+
+
+@pytest.fixture(scope="module")
+def trained_cnn():
+    rng = np.random.default_rng(5)
+    ds = GaussianMixtureImages(num_classes=4, noise=0.5)
+    model = proxy_alexnet(num_classes=4, rng=rng)
+    train_classifier(model, ds, steps=40, rng=rng)
+    return model, ds
+
+
+class TestDualizedCNN:
+    def test_build_creates_slot_per_conv(self, trained_cnn, rng):
+        model, ds = trained_cnn
+        cal, _ = ds.sample(8, rng)
+        dual = DualizedCNN.build(model, cal, reduction=0.3, rng=rng)
+        assert len(dual.slots) == len(model.conv_layers)
+
+    def test_forward_logits_shape(self, trained_cnn, rng):
+        model, ds = trained_cnn
+        cal, _ = ds.sample(8, rng)
+        dual = DualizedCNN.build(model, cal, rng=rng)
+        images, _ = ds.sample(4, rng)
+        logits, savings = dual.forward(images)
+        assert logits.shape == (4, 4)
+        assert savings.dense_macs > 0
+
+    def test_zero_threshold_preserves_quality(self, trained_cnn, rng):
+        """At threshold 0 only ReLU-negative outputs are approximated with
+        zero, which is what ReLU does anyway -- accuracy should match."""
+        model, ds = trained_cnn
+        cal, _ = ds.sample(16, rng)
+        dual = DualizedCNN.build(model, cal, rng=rng)
+        images, labels = ds.sample(128, np.random.default_rng(42))
+        base = evaluate_classifier(model, ds, samples=128,
+                                   rng=np.random.default_rng(42))
+        acc, _ = dual.evaluate(images, labels)
+        assert acc >= base - 0.08
+
+    def test_aggressive_thresholds_increase_savings(self, trained_cnn, rng):
+        model, ds = trained_cnn
+        cal, _ = ds.sample(16, rng)
+        dual = DualizedCNN.build(model, cal, rng=rng)
+        images, _ = ds.sample(16, rng)
+        dual.set_thresholds_by_fraction(0.3, cal)
+        _, low = dual.forward(images)
+        dual.set_thresholds_by_fraction(0.8, cal)
+        _, high = dual.forward(images)
+        assert high.sensitive_fraction < low.sensitive_fraction
+        assert high.flops_reduction > low.flops_reduction
+
+    def test_imap_flag_changes_accounting_only(self, trained_cnn, rng):
+        model, ds = trained_cnn
+        cal, _ = ds.sample(8, rng)
+        dual = DualizedCNN.build(model, cal, rng=rng)
+        images, _ = ds.sample(4, rng)
+        logits_a, with_imap = dual.forward(images, use_imap=True)
+        logits_b, without = dual.forward(images, use_imap=False)
+        np.testing.assert_allclose(logits_a, logits_b)
+        assert with_imap.executed_macs <= without.executed_macs
+
+
+class TestDualizedLanguageModel:
+    @pytest.fixture(scope="class")
+    def trained_lm(self):
+        rng = np.random.default_rng(6)
+        stream = ZipfTokenStream(vocab_size=30, branching=4)
+        model = ProxyLanguageModel(30, embed_dim=12, hidden_size=24, rng=rng)
+        train_language_model(model, stream, steps=60, seq_len=12, rng=rng)
+        return model, stream
+
+    def test_build_and_forward(self, trained_lm, rng):
+        model, stream = trained_lm
+        cal = stream.sample(12, 4, rng)
+        dual = DualizedLanguageModel.build(model, cal, rng=rng)
+        tokens_in, tokens_tgt = stream.lm_batch(10, 4, rng)
+        ppl, savings = dual.evaluate(tokens_in, tokens_tgt)
+        assert np.isfinite(ppl)
+        assert savings.weight_reads <= savings.dense_weight_reads
+
+    def test_infinite_threshold_matches_accurate(self, trained_lm, rng):
+        model, stream = trained_lm
+        cal = stream.sample(12, 4, rng)
+        dual = DualizedLanguageModel.build(
+            model, cal, threshold=np.inf, rng=rng
+        )
+        tokens_in, tokens_tgt = stream.lm_batch(10, 4, rng)
+        ppl_dual, savings = dual.evaluate(tokens_in, tokens_tgt)
+        from repro.nn.losses import CrossEntropyLoss, perplexity
+
+        ppl_ref = perplexity(CrossEntropyLoss()(model(tokens_in), tokens_tgt))
+        assert savings.sensitive_fraction == 1.0
+        assert ppl_dual == pytest.approx(ppl_ref, rel=1e-9)
+
+    def test_threshold_tuning_hits_fraction(self, trained_lm, rng):
+        model, stream = trained_lm
+        cal = stream.sample(15, 6, rng)
+        dual = DualizedLanguageModel.build(model, cal, rng=rng)
+        dual.set_thresholds_by_fraction(0.5, cal)
+        tokens_in, tokens_tgt = stream.lm_batch(12, 6, rng)
+        _, savings = dual.evaluate(tokens_in, tokens_tgt)
+        assert abs((1.0 - savings.sensitive_fraction) - 0.5) < 0.15
+
+    def test_gru_variant(self, rng):
+        stream = ZipfTokenStream(vocab_size=20)
+        model = ProxyLanguageModel(20, embed_dim=8, hidden_size=12,
+                                   cell="gru", rng=rng)
+        train_language_model(model, stream, steps=15, seq_len=8, rng=rng)
+        cal = stream.sample(8, 3, rng)
+        dual = DualizedLanguageModel.build(model, cal, rng=rng)
+        tokens_in, tokens_tgt = stream.lm_batch(8, 3, rng)
+        ppl, savings = dual.evaluate(tokens_in, tokens_tgt)
+        assert np.isfinite(ppl)
+
+
+class TestDualizedSeq2Seq:
+    def test_build_and_evaluate(self, rng):
+        task = SyntheticTranslationTask(vocab_size=12, seq_len=4)
+        model = ProxySeq2Seq(12, embed_dim=12, hidden_size=20, rng=rng)
+        train_seq2seq(model, task, steps=80, rng=rng)
+        src, _ = task.sample(8, rng)
+        bos = np.zeros((1, 8), dtype=np.int64)
+        dual = DualizedSeq2Seq.build(model, src, bos.repeat(4, axis=0), rng=rng)
+        score, savings = dual.evaluate(task, samples=32)
+        assert 0.0 <= score <= 1.0
+        assert savings.dense_macs > 0
+
+    def test_set_thresholds(self, rng):
+        task = SyntheticTranslationTask(vocab_size=10, seq_len=3)
+        model = ProxySeq2Seq(10, embed_dim=8, hidden_size=12, rng=rng)
+        src, tgt = task.sample(4, rng)
+        dual = DualizedSeq2Seq.build(model, src, tgt, rng=rng)
+        dual.set_thresholds(np.inf)
+        _, savings_inf = dual.evaluate(task, samples=8)
+        dual.set_thresholds(1e-9)
+        _, savings_tiny = dual.evaluate(task, samples=8)
+        assert savings_inf.sensitive_fraction == 1.0
+        assert savings_tiny.sensitive_fraction < 0.05
+
+
+class TestSeq2SeqThresholdTuning:
+    def test_fraction_tuning_monotone(self, rng):
+        task = SyntheticTranslationTask(vocab_size=10, seq_len=3)
+        model = ProxySeq2Seq(10, embed_dim=8, hidden_size=12, rng=rng)
+        train_seq2seq(model, task, steps=60, rng=rng)
+        src, tgt = task.sample(8, rng)
+        bos = np.zeros((1, 8), dtype=np.int64)
+        tgt_in = np.concatenate([bos, tgt[:-1]], axis=0)
+        dual = DualizedSeq2Seq.build(model, src, tgt_in, rng=rng)
+
+        sensitives = []
+        for fraction in (0.2, 0.5, 0.8):
+            dual.set_thresholds_by_fraction(fraction, src, tgt_in)
+            _, savings = dual.evaluate(task, samples=16)
+            sensitives.append(savings.sensitive_fraction)
+        # more aggressive fractions leave fewer sensitive outputs
+        assert sensitives[0] > sensitives[1] > sensitives[2]

@@ -1,0 +1,100 @@
+"""Tests for the trainable proxy models (kept small for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import (
+    GaussianMixtureImages,
+    SyntheticTranslationTask,
+    ZipfTokenStream,
+)
+from repro.models.proxies import (
+    ProxyCNN,
+    ProxyLanguageModel,
+    ProxySeq2Seq,
+    evaluate_classifier,
+    evaluate_language_model,
+    evaluate_seq2seq,
+    proxy_alexnet,
+    proxy_resnet18,
+    train_classifier,
+    train_language_model,
+    train_seq2seq,
+)
+
+
+class TestProxyCNN:
+    def test_forward_shape(self, rng):
+        model = proxy_alexnet(num_classes=7, rng=rng)
+        logits = model(rng.normal(size=(2, 3, 32, 32)))
+        assert logits.shape == (2, 7)
+
+    def test_conv_layers_enumerated(self, rng):
+        assert len(proxy_alexnet(rng=rng).conv_layers) == 3
+        assert len(proxy_resnet18(rng=rng).conv_layers) == 5
+
+    def test_training_reduces_loss(self, rng):
+        ds = GaussianMixtureImages(num_classes=4, noise=0.4)
+        model = proxy_alexnet(num_classes=4, rng=rng)
+        from repro.nn.losses import CrossEntropyLoss
+
+        images, labels = ds.sample(64, rng)
+        before = CrossEntropyLoss()(model(images), labels)
+        train_classifier(model, ds, steps=25, rng=rng)
+        after = CrossEntropyLoss()(model(images), labels)
+        assert after < before
+
+    def test_trained_model_beats_chance(self, rng):
+        ds = GaussianMixtureImages(num_classes=4, noise=0.4)
+        model = proxy_alexnet(num_classes=4, rng=rng)
+        train_classifier(model, ds, steps=40, rng=rng)
+        acc = evaluate_classifier(model, ds, samples=128)
+        assert acc > 0.6  # chance is 0.25
+
+
+class TestProxyLanguageModel:
+    def test_forward_shape(self, rng):
+        model = ProxyLanguageModel(30, embed_dim=8, hidden_size=12, rng=rng)
+        logits = model(rng.integers(0, 30, size=(6, 3)))
+        assert logits.shape == (6, 3, 30)
+
+    def test_gru_variant(self, rng):
+        model = ProxyLanguageModel(20, cell="gru", rng=rng)
+        assert model.cell_kind == "gru"
+        logits = model(rng.integers(0, 20, size=(4, 2)))
+        assert logits.shape == (4, 2, 20)
+
+    def test_invalid_cell(self):
+        with pytest.raises(ValueError, match="lstm"):
+            ProxyLanguageModel(10, cell="rnn")
+
+    def test_training_beats_unigram(self, rng):
+        stream = ZipfTokenStream(vocab_size=40, branching=4)
+        model = ProxyLanguageModel(40, embed_dim=16, hidden_size=32, rng=rng)
+        train_language_model(model, stream, steps=60, seq_len=12, rng=rng)
+        ppl = evaluate_language_model(model, stream, seq_len=12)
+        assert ppl < 40  # uniform perplexity = vocab size
+
+
+class TestProxySeq2Seq:
+    def test_teacher_forced_shapes(self, rng):
+        model = ProxySeq2Seq(15, embed_dim=8, hidden_size=16, rng=rng)
+        src = rng.integers(0, 15, size=(5, 3))
+        tgt_in = rng.integers(0, 15, size=(5, 3))
+        logits = model(src, tgt_in)
+        assert logits.shape == (5, 3, 15)
+
+    def test_greedy_decode_shape(self, rng):
+        model = ProxySeq2Seq(15, rng=rng)
+        out = model.greedy_decode(rng.integers(0, 15, size=(4, 2)), max_len=4)
+        assert out.shape == (4, 2)
+        assert out.dtype == np.int64
+
+    def test_training_improves_score(self, rng):
+        task = SyntheticTranslationTask(vocab_size=12, seq_len=4)
+        model = ProxySeq2Seq(12, embed_dim=16, hidden_size=32, rng=rng)
+        before = evaluate_seq2seq(model, task, samples=64)
+        train_seq2seq(model, task, steps=150, rng=rng)
+        after = evaluate_seq2seq(model, task, samples=64)
+        assert after > before
+        assert after > 0.3  # well above the ~1/12 chance level

@@ -1,0 +1,148 @@
+"""Tests for repro.nn.functional: activations, im2col/col2im, softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self):
+        x = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        np.testing.assert_array_equal(F.relu(x), [0.0, 0.0, 0.0, 0.5, 2.0])
+
+    def test_relu_grad_is_step(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(F.relu_grad(x), [0.0, 0.0, 1.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-20, 20, 101)
+        y = F.sigmoid(x)
+        assert np.all(y > 0) and np.all(y < 1)
+        np.testing.assert_allclose(y + F.sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        y = F.sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(y).all()
+        np.testing.assert_allclose(y, [0.0, 1.0], atol=1e-12)
+
+    def test_sigmoid_grad_matches_numeric(self):
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numeric = (F.sigmoid(x + eps) - F.sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(F.sigmoid_grad(F.sigmoid(x)), numeric, atol=1e-8)
+
+    def test_tanh_grad_matches_numeric(self):
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numeric = (F.tanh(x + eps) - F.tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(F.tanh_grad(F.tanh(x)), numeric, atol=1e-8)
+
+    def test_activation_by_name_dispatch(self):
+        x = np.array([-1.0, 1.0])
+        np.testing.assert_array_equal(F.activation_by_name("relu")(x), F.relu(x))
+        np.testing.assert_array_equal(F.activation_by_name("tanh")(x), F.tanh(x))
+        np.testing.assert_array_equal(
+            F.activation_by_name("identity")(x), x
+        )
+
+    def test_activation_by_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            F.activation_by_name("gelu")
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7))
+        np.testing.assert_allclose(F.softmax(x).sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), atol=1e-12)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            F.log_softmax(x), np.log(F.softmax(x)), atol=1e-12
+        )
+
+    def test_overflow_safe(self):
+        x = np.array([[1000.0, 0.0]])
+        assert np.isfinite(F.softmax(x)).all()
+        assert np.isfinite(F.log_softmax(x)).all()
+
+
+class TestConvGeometry:
+    def test_output_size_basic(self):
+        assert F.conv_output_size(5, 3, 1, 0) == 3
+        assert F.conv_output_size(5, 3, 1, 1) == 5
+        assert F.conv_output_size(224, 11, 4, 2) == 55
+
+    def test_output_size_invalid(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, (3, 3), stride=1, padding=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_values_match_direct_convolution(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(4, 2, 3, 3))
+        cols = F.im2col(x, (3, 3), stride=1, padding=0)
+        gemm_out = (cols @ w.reshape(4, -1).T).reshape(1, 4, 4, 4)
+        # direct (naive) convolution reference
+        ref = np.zeros((1, 4, 4, 4))
+        for oc in range(4):
+            for oy in range(4):
+                for ox in range(4):
+                    ref[0, oc, oy, ox] = np.sum(
+                        x[0, :, oy : oy + 3, ox : ox + 3] * w[oc]
+                    )
+        np.testing.assert_allclose(
+            gemm_out[0].transpose(2, 0, 1), ref[0], atol=1e-10
+        )
+
+    def test_stride_and_padding(self, rng):
+        x = rng.normal(size=(1, 1, 7, 7))
+        cols = F.im2col(x, (3, 3), stride=2, padding=1)
+        assert cols.shape == (4 * 4, 9)
+
+    def test_col2im_adjoint_property(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, (3, 3), stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * F.col2im(y, x.shape, (3, 3), stride=1, padding=1))
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+    def test_col2im_counts_overlaps(self):
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((2 * 2, 9))
+        folded = F.col2im(cols, x_shape, (3, 3), stride=1, padding=0)
+        # the centre pixels belong to all four 3x3 windows
+        assert folded[0, 0, 1, 1] == 4.0
+        assert folded[0, 0, 0, 0] == 1.0
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        arrays(
+            np.float64,
+            (1, 2, 6, 6),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    def test_im2col_preserves_values(self, x):
+        """Every im2col entry equals some input pixel (padding aside)."""
+        cols = F.im2col(x, (3, 3), stride=3, padding=0)
+        # stride == kernel means no overlap: multiset of values preserved
+        np.testing.assert_allclose(
+            np.sort(cols.reshape(-1)), np.sort(x[:, :, :6, :6].reshape(-1))
+        )

@@ -1,0 +1,88 @@
+"""Tests for magnitude pruning and its combination with dual-module
+processing (paper Section VI orthogonality claim)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.nn.prune import magnitude_prune, magnitude_prune_parameter, weight_sparsity
+from repro.nn.module import Parameter
+
+
+class TestPruneParameter:
+    def test_prunes_smallest(self):
+        p = Parameter(np.array([0.1, -5.0, 0.2, 3.0]))
+        zeroed = magnitude_prune_parameter(p, 0.5)
+        assert zeroed == 2
+        np.testing.assert_array_equal(p.data, [0.0, -5.0, 0.0, 3.0])
+
+    def test_zero_sparsity_noop(self):
+        p = Parameter(np.ones(4))
+        assert magnitude_prune_parameter(p, 0.0) == 0
+        assert np.all(p.data == 1.0)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            magnitude_prune_parameter(Parameter(np.ones(4)), 1.0)
+
+    def test_rate_approximately_achieved(self, rng):
+        p = Parameter(rng.normal(size=1000))
+        magnitude_prune_parameter(p, 0.7)
+        assert abs(np.mean(p.data == 0) - 0.7) < 0.02
+
+
+class TestPruneModel:
+    def test_prunes_weights_not_biases(self, rng):
+        model = Linear(32, 16, rng=rng)
+        model.bias.data[:] = 0.001
+        magnitude_prune(model, 0.5)
+        assert np.mean(model.weight.data == 0) == pytest.approx(0.5, abs=0.01)
+        assert np.all(model.bias.data == 0.001)
+
+    def test_weight_sparsity_metric(self, rng):
+        model = Linear(32, 16, rng=rng)
+        magnitude_prune(model, 0.6)
+        assert weight_sparsity(model) == pytest.approx(0.6, abs=0.01)
+
+
+class TestCombinationWithDualModule:
+    def test_pruned_model_as_accurate_module(self, rng):
+        """Section VI: a compressed layer works as the accurate module."""
+        from repro.core import ApproximateLinear, DualModuleLinear, distill_linear
+        from repro.nn import functional as F
+
+        lin = Linear(64, 32, rng=rng)
+        magnitude_prune(lin, 0.6)
+        ap = ApproximateLinear(64, 32, 16, rng=rng)
+        x = rng.normal(size=(400, 64))
+        rmse = distill_linear(lin, ap, x)
+        assert np.isfinite(rmse)
+        dual = DualModuleLinear(lin, ap, "relu", threshold=0.0)
+        out, report = dual(x[:8])
+        ref = F.relu(lin(x[:8]))
+        mask = report.switching_map.astype(bool)
+        np.testing.assert_allclose(out[mask], ref[mask], atol=1e-12)
+
+    def test_pruned_proxy_cnn_dualizes(self, rng):
+        """End-to-end: prune a trained proxy, dualize, verify accuracy."""
+        from repro.models.dualize import DualizedCNN
+        from repro.models.proxies import (
+            evaluate_classifier,
+            proxy_alexnet,
+            train_classifier,
+        )
+        from repro.nn.data import GaussianMixtureImages
+
+        ds = GaussianMixtureImages(num_classes=4, noise=0.4)
+        model = proxy_alexnet(num_classes=4, rng=rng)
+        train_classifier(model, ds, steps=40, rng=rng)
+        magnitude_prune(model, 0.3)
+        pruned_acc = evaluate_classifier(model, ds, samples=128)
+        assert pruned_acc > 0.7  # mild pruning keeps quality
+
+        cal, _ = ds.sample(16, rng)
+        dual = DualizedCNN.build(model, cal, reduction=0.15, rng=rng)
+        images, labels = ds.sample(128, np.random.default_rng(8))
+        acc, savings = dual.evaluate(images, labels)
+        assert acc > pruned_acc - 0.1
+        assert savings.dense_macs > savings.executed_macs

@@ -1,0 +1,145 @@
+"""Tests for fixed-point tensors and the truncating quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant import (
+    FixedPointTensor,
+    dequantize,
+    int_range,
+    quantization_noise_power,
+    quantize_linear,
+    truncate_to_int4,
+)
+
+
+class TestIntRange:
+    def test_known_ranges(self):
+        assert int_range(4) == (-8, 7)
+        assert int_range(8) == (-128, 127)
+        assert int_range(16) == (-32768, 32767)
+
+    def test_too_narrow(self):
+        with pytest.raises(ValueError, match="at least 2 bits"):
+            int_range(1)
+
+
+class TestFixedPointTensor:
+    def test_round_trip_value(self):
+        t = FixedPointTensor(np.array([1, -2, 3]), scale=0.5, bits=8)
+        np.testing.assert_allclose(t.to_float(), [0.5, -1.0, 1.5])
+
+    def test_payload_must_be_integer(self):
+        with pytest.raises(TypeError, match="integer"):
+            FixedPointTensor(np.array([1.5]), scale=1.0, bits=8)
+
+    def test_out_of_range_payload(self):
+        with pytest.raises(ValueError, match="out of INT4 range"):
+            FixedPointTensor(np.array([100]), scale=1.0, bits=4)
+
+    def test_shape(self):
+        t = FixedPointTensor(np.zeros((2, 3), dtype=np.int64), 1.0, 16)
+        assert t.shape == (2, 3)
+
+
+class TestQuantizeLinear:
+    def test_auto_scale_maps_max_to_full_range(self, rng):
+        x = rng.normal(size=100)
+        t = quantize_linear(x, bits=8)
+        assert t.values.max() == 127 or t.values.min() == -128 or np.abs(t.values).max() == 127
+
+    def test_round_trip_error_bounded_by_half_scale(self, rng):
+        x = rng.normal(size=200)
+        t = quantize_linear(x, bits=8)
+        err = np.abs(t.to_float() - x)
+        assert err.max() <= t.scale * 0.5 + 1e-12
+
+    def test_explicit_scale_saturates(self):
+        t = quantize_linear(np.array([100.0]), bits=4, scale=1.0)
+        assert t.values[0] == 7  # saturated at INT4 max
+
+    def test_zero_input(self):
+        t = quantize_linear(np.zeros(5), bits=8)
+        assert np.all(t.values == 0)
+        np.testing.assert_allclose(t.to_float(), 0.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="positive"):
+            quantize_linear(np.ones(3), bits=8, scale=-1.0)
+
+    def test_dequantize_helper(self, rng):
+        x = rng.normal(size=10)
+        t = quantize_linear(x, bits=16)
+        np.testing.assert_array_equal(dequantize(t), t.to_float())
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        arrays(np.float64, 20, elements=st.floats(-100, 100, allow_nan=False)),
+        st.sampled_from([4, 8, 16]),
+    )
+    def test_quantization_error_invariant(self, x, bits):
+        """Property: max |error| <= scale / 2 for any input and bit width."""
+        t = quantize_linear(x, bits=bits)
+        err = np.abs(t.to_float() - x)
+        assert err.max() <= t.scale * 0.5 + 1e-9
+
+
+class TestTruncateToInt4:
+    def test_paper_semantics(self):
+        """Drop 12 LSBs, keep 4 MSBs, scale x 4096 (Section III-B Step 1)."""
+        t16 = FixedPointTensor(np.array([20480, -8192, 4095]), scale=1.0, bits=16)
+        t4 = truncate_to_int4(t16)
+        assert t4.bits == 4
+        assert t4.scale == 4096.0
+        # 20480 >> 12 == 5; -8192 >> 12 == -2; 4095 >> 12 == 0
+        np.testing.assert_array_equal(t4.values, [5, -2, 0])
+
+    def test_represented_range_preserved(self):
+        """Truncation keeps the represented magnitude within one LSB."""
+        vals = np.array([32767, -32768, 12345, -999])
+        t16 = FixedPointTensor(vals, scale=0.001, bits=16)
+        t4 = truncate_to_int4(t16)
+        err = np.abs(t4.to_float() - t16.to_float())
+        assert err.max() <= 4096 * 0.001  # one INT4 LSB after rescale
+
+    def test_negative_truncation_floors(self):
+        """Arithmetic shift floors toward -inf, as hardware bit-drop does."""
+        t16 = FixedPointTensor(np.array([-1]), scale=1.0, bits=16)
+        assert truncate_to_int4(t16).values[0] == -1  # -1 >> 12 == -1
+
+    def test_rejects_non_int16(self):
+        t8 = FixedPointTensor(np.array([1]), scale=1.0, bits=8)
+        with pytest.raises(ValueError, match="INT16"):
+            truncate_to_int4(t8)
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(min_value=-32768, max_value=32767))
+    def test_truncation_error_bounded(self, value):
+        """Property: any INT16 value truncates with < 2^12 payload error."""
+        t16 = FixedPointTensor(np.array([value]), scale=1.0, bits=16)
+        t4 = truncate_to_int4(t16)
+        assert abs(float(t4.values[0]) * 4096 - value) < 4096
+
+
+class TestNoisePower:
+    def test_more_bits_less_noise(self, rng):
+        x = rng.normal(size=500)
+        noise = [quantization_noise_power(x, b) for b in (2, 4, 8)]
+        assert noise[0] > noise[1] > noise[2]
+
+    def test_int16_noise_negligible(self, rng):
+        x = rng.normal(size=100)
+        assert quantization_noise_power(x, 16) < 1e-7
+
+
+class TestSubnormalInputs:
+    def test_subnormal_tensor_quantizes_to_zero(self):
+        """Regression: subnormal magnitudes underflowed the auto-scale to
+        exactly zero and raised; they now quantize as an all-zero tensor."""
+        x = np.full(4, 5e-324)
+        t = quantize_linear(x, bits=8)
+        assert np.all(t.values == 0)
+        assert t.scale > 0

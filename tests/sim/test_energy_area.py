@@ -1,0 +1,85 @@
+"""Tests for the energy and area models."""
+
+import pytest
+
+from repro.sim.area import AreaModel
+from repro.sim.config import DuetConfig
+from repro.sim.energy import EnergyBreakdown, EnergyModel
+
+
+class TestEnergyModel:
+    def test_hierarchy_ordering(self):
+        """The canonical energy hierarchy: MAC < GLB << DRAM."""
+        em = EnergyModel()
+        assert em.mac_int4 < em.mac_int16
+        assert em.mac_int16 <= em.local_access < em.glb_access < em.dram_access
+        assert em.dram_access / em.mac_int16 >= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EnergyModel(mac_int16=-1.0)
+
+
+class TestEnergyBreakdown:
+    def test_totals(self):
+        b = EnergyBreakdown(
+            executor_compute=1.0,
+            executor_local=2.0,
+            speculator_compute=0.5,
+            speculator_buffers=0.25,
+            glb=3.0,
+            noc=0.5,
+            dram=10.0,
+        )
+        assert b.on_chip == pytest.approx(7.25)
+        assert b.total == pytest.approx(17.25)
+        assert b.speculator_total == pytest.approx(0.75)
+
+    def test_merge(self):
+        a = EnergyBreakdown(executor_compute=1.0, dram=2.0)
+        b = EnergyBreakdown(executor_compute=3.0, glb=1.0)
+        merged = a.merge(b)
+        assert merged.executor_compute == 4.0
+        assert merged.dram == 2.0
+        assert merged.glb == 1.0
+
+    def test_as_dict_keys(self):
+        keys = set(EnergyBreakdown().as_dict())
+        assert keys == {
+            "executor_compute",
+            "executor_local",
+            "speculator_compute",
+            "speculator_buffers",
+            "glb",
+            "noc",
+            "dram",
+        }
+
+
+class TestAreaModel:
+    def test_paper_fractions(self):
+        """Table I headline structure: Executor 40%, Speculator 6.6%,
+        memory buffers dominate."""
+        b = AreaModel().breakdown()
+        assert b.fraction(b.executor_total) == pytest.approx(0.40, abs=0.02)
+        assert b.fraction(b.speculator_total) == pytest.approx(0.066, abs=0.01)
+        assert b.fraction(b.glb) > 0.45  # buffers dominate
+
+    def test_rows_cover_total(self):
+        b = AreaModel().breakdown()
+        rows_total = sum(area for _, area, _ in b.as_rows())
+        assert rows_total == pytest.approx(b.total)
+
+    def test_fractions_sum_to_one(self):
+        b = AreaModel().breakdown()
+        assert sum(frac for _, _, frac in b.as_rows()) == pytest.approx(1.0)
+
+    def test_speculator_scales_with_systolic_size(self):
+        small = AreaModel(DuetConfig().scaled_speculator(8, 8)).breakdown()
+        big = AreaModel(DuetConfig().scaled_speculator(32, 32)).breakdown()
+        assert small.speculator_total < big.speculator_total
+
+    def test_executor_scales_with_pe_array(self):
+        small = AreaModel(DuetConfig(executor_rows=8)).breakdown()
+        default = AreaModel().breakdown()
+        assert small.executor_total < default.executor_total

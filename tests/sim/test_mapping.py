@@ -1,0 +1,119 @@
+"""Tests for channel scheduling and the Reorder Unit."""
+
+import numpy as np
+import pytest
+
+from repro.sim.mapping import (
+    ReorderUnit,
+    adaptive_schedule,
+    naive_schedule,
+    schedule_cycles,
+)
+
+
+class TestNaiveSchedule:
+    def test_partitions_in_order(self):
+        groups = naive_schedule(10, rows=4)
+        assert groups == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_exact_multiple(self):
+        groups = naive_schedule(8, rows=4)
+        assert all(len(g) == 4 for g in groups)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError, match="positive"):
+            naive_schedule(4, rows=0)
+
+
+class TestAdaptiveSchedule:
+    def test_groups_similar_workloads(self):
+        workloads = np.array([10, 1, 9, 2, 8, 3])
+        groups = adaptive_schedule(workloads, rows=2)
+        # descending sort: (10, 9), (8, 3), (2, 1)
+        assert sorted(groups[0]) == [0, 2]
+
+    def test_covers_all_channels_once(self, rng):
+        workloads = rng.integers(0, 100, size=37)
+        groups = adaptive_schedule(workloads, rows=8)
+        flat = sorted(c for g in groups for c in g)
+        assert flat == list(range(37))
+
+    def test_bucketed_sort_is_coarser(self):
+        """With one bucket, all workloads look equal: original order kept."""
+        workloads = np.array([5.0, 1.0, 4.0, 2.0])
+        groups = adaptive_schedule(workloads, rows=2, buckets=1)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError, match="buckets"):
+            adaptive_schedule(np.ones(4), rows=2, buckets=0)
+
+
+class TestScheduleCycles:
+    def test_max_per_group(self):
+        cycles = np.array([10, 1, 9, 2])
+        assert schedule_cycles(cycles, [[0, 1], [2, 3]]) == 19
+
+    def test_adaptive_never_worse(self, rng):
+        """Exact-sorted adaptive mapping minimises sum-of-group-maxima."""
+        for _ in range(20):
+            cycles = rng.integers(1, 1000, size=64)
+            naive = schedule_cycles(cycles, naive_schedule(64, 16))
+            adaptive = schedule_cycles(cycles, adaptive_schedule(cycles, 16))
+            assert adaptive <= naive
+
+    def test_balanced_workloads_identical(self):
+        cycles = np.full(32, 7)
+        naive = schedule_cycles(cycles, naive_schedule(32, 16))
+        adaptive = schedule_cycles(cycles, adaptive_schedule(cycles, 16))
+        assert naive == adaptive == 14
+
+    def test_empty_schedule(self):
+        assert schedule_cycles(np.array([]), []) == 0
+
+
+class TestReorderUnit:
+    def test_paper_fig8_example(self):
+        """Paper Fig. 7b/8: sums 4,1,2,4 with 2 buckets -> {0,3} then {1,2}."""
+        bits = np.zeros((4, 4), dtype=np.uint8)
+        bits[0, :4] = 1  # sum 4
+        bits[1, :1] = 1  # sum 1
+        bits[2, :2] = 1  # sum 2
+        bits[3, :4] = 1  # sum 4
+        unit = ReorderUnit(num_adders=64, num_buckets=2)
+        result = unit.reorder(bits)
+        assert sorted(result.buckets[0]) == [0, 3]
+        assert sorted(result.buckets[1]) == [1, 2]
+        assert result.sequence[:2] in ([0, 3], [3, 0])
+
+    def test_cycle_model(self):
+        bits = np.ones((8, 128), dtype=np.uint8)
+        unit = ReorderUnit(num_adders=64, num_buckets=4)
+        result = unit.reorder(bits)
+        # 128 bits / 64 adders = 2 passes + 1 compare per channel
+        assert result.cycles == 8 * 3
+
+    def test_sequence_is_permutation(self, rng):
+        bits = (rng.random((20, 16)) > 0.5).astype(np.uint8)
+        result = ReorderUnit().reorder(bits)
+        assert sorted(result.sequence) == list(range(20))
+
+    def test_bucket_ordering_descending(self, rng):
+        """Earlier buckets hold strictly larger-or-equal sums."""
+        bits = (rng.random((30, 64)) > 0.5).astype(np.uint8)
+        unit = ReorderUnit(num_buckets=4)
+        result = unit.reorder(bits)
+        sums = bits.sum(axis=1)
+        mins_seen = []
+        for bucket in result.buckets:
+            if bucket:
+                mins_seen.append((min(sums[c] for c in bucket),
+                                  max(sums[c] for c in bucket)))
+        for (lo_a, _), (_, hi_b) in zip(mins_seen, mins_seen[1:]):
+            assert lo_a >= hi_b - 64 // 4  # bucket width tolerance
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ReorderUnit(num_adders=0)
+        with pytest.raises(ValueError, match="shape"):
+            ReorderUnit().reorder(np.ones(5, dtype=np.uint8))

@@ -1,0 +1,112 @@
+"""Tests for the GLB, DRAM, and NoC models."""
+
+import pytest
+
+from repro.sim.dram import Dram
+from repro.sim.glb import GlobalBuffer
+from repro.sim.noc import MulticastNoc
+
+
+class TestGlobalBuffer:
+    def test_traffic_counters(self):
+        glb = GlobalBuffer(capacity=1 << 20, bandwidth=512)
+        glb.read(1000)
+        glb.write(500)
+        assert glb.bytes_read == 1000
+        assert glb.bytes_written == 500
+        assert glb.total_bytes == 1500
+
+    def test_cycles_for(self):
+        glb = GlobalBuffer(capacity=1 << 20, bandwidth=512)
+        assert glb.cycles_for(512) == 1
+        assert glb.cycles_for(513) == 2
+
+    def test_fits_decides_rnn_streaming(self):
+        """Paper Section IV-B: a 1024-cell LSTM gate is 2 MB at 16 bits --
+        it does not fit in the 1 MB GLB, forcing per-step DRAM streaming."""
+        glb = GlobalBuffer(capacity=1 << 20, bandwidth=512)
+        gate_bytes = 1024 * 2048 * 2
+        assert not glb.fits(gate_bytes)
+        small_gate = 128 * 256 * 2
+        assert glb.fits(small_gate)
+
+    def test_reset(self):
+        glb = GlobalBuffer(1024, 16)
+        glb.read(100)
+        glb.reset()
+        assert glb.total_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            GlobalBuffer(0, 512)
+        glb = GlobalBuffer(1024, 16)
+        with pytest.raises(ValueError, match="negative"):
+            glb.read(-1)
+
+
+class TestDram:
+    def test_read_returns_cycles(self):
+        dram = Dram(bandwidth=32)
+        assert dram.read(64) == 2
+        assert dram.bytes_read == 64
+
+    def test_write(self):
+        dram = Dram(bandwidth=32)
+        assert dram.write(33) == 2
+        assert dram.bytes_written == 33
+
+    def test_total(self):
+        dram = Dram(16)
+        dram.read(10)
+        dram.write(20)
+        assert dram.total_bytes == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            Dram(0)
+        with pytest.raises(ValueError, match="negative"):
+            Dram(16).read(-5)
+
+
+class TestMulticastNoc:
+    def test_unicast(self):
+        noc = MulticastNoc(rows=16, cols=16)
+        cycles = noc.deliver(10, target_rows={3}, target_cols={5})
+        assert cycles == 10
+        assert noc.stats.y_bus_transactions == 10
+        assert noc.stats.x_bus_transactions == 10
+        assert noc.stats.receivers_activated == 10
+
+    def test_multicast_counts(self):
+        noc = MulticastNoc(rows=16, cols=16)
+        noc.deliver(4, target_rows={0, 1}, target_cols={0, 1, 2})
+        assert noc.stats.x_bus_transactions == 8  # 4 words x 2 rows
+        assert noc.stats.receivers_activated == 24  # x 3 cols
+        assert noc.stats.receivers_deactivated == 4 * 2 * 13
+
+    def test_speculator_row_allowed(self):
+        """The 17th X-bus (row index == rows) feeds the Speculator."""
+        noc = MulticastNoc(rows=16, cols=16)
+        noc.deliver(1, target_rows={16}, target_cols={0})
+        assert noc.stats.x_bus_transactions == 1
+
+    def test_out_of_range_targets(self):
+        noc = MulticastNoc(rows=16, cols=16)
+        with pytest.raises(ValueError, match="row"):
+            noc.deliver(1, {17}, {0})
+        with pytest.raises(ValueError, match="col"):
+            noc.deliver(1, {0}, {16})
+
+    def test_reset(self):
+        noc = MulticastNoc(4, 4)
+        noc.deliver(5, {0}, {0})
+        noc.reset()
+        assert noc.stats.y_bus_transactions == 0
+
+    def test_broadcast_energy_saving_signal(self):
+        """ID matching deactivates unmatched receivers: the deactivated
+        count (energy saved) plus activated count covers the array."""
+        noc = MulticastNoc(rows=8, cols=8)
+        noc.deliver(1, target_rows={0, 1, 2}, target_cols={0})
+        total = noc.stats.receivers_activated + noc.stats.receivers_deactivated
+        assert total == 3 * 8  # matched rows x all cols

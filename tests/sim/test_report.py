@@ -1,0 +1,83 @@
+"""Tests for the ModelReport/LayerReport result structures."""
+
+import pytest
+
+from repro.sim.config import DuetConfig
+from repro.sim.energy import EnergyBreakdown
+from repro.sim.report import LayerReport, ModelReport
+
+
+def make_layer(name, cycles, macs=100, energy_pj=10.0):
+    return LayerReport(
+        name=name,
+        executor_cycles=cycles,
+        speculator_cycles=0,
+        exposed_speculation_cycles=0,
+        memory_cycles=cycles // 2,
+        compute_cycles=cycles,
+        total_cycles=cycles,
+        executed_macs=macs,
+        dense_macs=macs * 2,
+        utilization=0.5,
+        energy=EnergyBreakdown(executor_compute=energy_pj),
+        dram_bytes=64,
+    )
+
+
+@pytest.fixture
+def report():
+    r = ModelReport("m", DuetConfig())
+    r.layers = [make_layer("a", 1000), make_layer("b", 3000)]
+    return r
+
+
+class TestTotals:
+    def test_cycle_totals(self, report):
+        assert report.total_cycles == 4000
+        assert report.executor_cycles == 4000
+        assert report.memory_cycles == 2000
+        assert report.latency_ms == pytest.approx(0.004)
+
+    def test_mac_totals(self, report):
+        assert report.executed_macs == 200
+        assert report.dense_macs == 400
+
+    def test_energy_rollup(self, report):
+        assert report.energy.executor_compute == pytest.approx(20.0)
+        assert report.energy.total == pytest.approx(20.0)
+
+    def test_mean_utilization_weighting(self):
+        r = ModelReport("m", DuetConfig())
+        fast = make_layer("fast", 100)
+        slow = make_layer("slow", 900)
+        fast.utilization = 1.0
+        slow.utilization = 0.0
+        r.layers = [fast, slow]
+        assert r.mean_utilization == pytest.approx(0.1)
+
+    def test_empty_report(self):
+        r = ModelReport("m", DuetConfig())
+        assert r.total_cycles == 0
+        assert r.mean_utilization == 0.0
+
+
+class TestComparisons:
+    def test_speedup_and_energy_directions(self, report):
+        slow = ModelReport("m", DuetConfig())
+        slow.layers = [make_layer("a", 8000, energy_pj=40.0)]
+        assert report.speedup_over(slow) == pytest.approx(2.0)
+        assert report.energy_saving_over(slow) == pytest.approx(2.0)
+
+    def test_zero_latency_guard(self):
+        empty = ModelReport("m", DuetConfig())
+        other = ModelReport("m", DuetConfig())
+        other.layers = [make_layer("a", 10)]
+        with pytest.raises(ZeroDivisionError):
+            empty.speedup_over(other)
+
+    def test_edp(self, report):
+        assert report.edp() == pytest.approx(20.0 * 4000)
+
+    def test_layer_lookup_error(self, report):
+        with pytest.raises(KeyError, match="no layer"):
+            report.layer("ghost")

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListModels:
+    def test_lists_all(self):
+        code, text = run_cli("list-models")
+        assert code == 0
+        for name in ("alexnet", "vgg16", "resnet18", "resnet50", "lstm", "gru", "gnmt"):
+            assert name in text
+
+
+class TestSimulate:
+    def test_cnn_default(self):
+        code, text = run_cli("simulate", "--model", "alexnet")
+        assert code == 0
+        assert "conv1" in text and "total:" in text
+
+    def test_rnn(self):
+        code, text = run_cli("simulate", "--model", "lstm", "--stage", "BASE")
+        assert code == 0
+        assert "lstm1" in text
+
+    def test_include_fc(self):
+        code, text = run_cli("simulate", "--model", "alexnet", "--include-fc")
+        assert code == 0
+        assert "fc6" in text
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("simulate", "--model", "bert")
+
+
+class TestStages:
+    def test_breakdown_rows(self):
+        code, text = run_cli("stages", "--model", "alexnet")
+        assert code == 0
+        for stage in ("BASE", "OS", "BOS", "IOS", "DUET"):
+            assert stage in text
+
+
+class TestCompare:
+    def test_cnn_comparison(self):
+        code, text = run_cli("compare", "--model", "alexnet")
+        assert code == 0
+        for design in ("eyeriss", "cnvlutin", "snapea", "predict"):
+            assert design in text
+
+    def test_rnn_rejected(self):
+        code, text = run_cli("compare", "--model", "lstm")
+        assert code == 2
+        assert "CNN models only" in text
+
+
+class TestArea:
+    def test_table(self):
+        code, text = run_cli("area")
+        assert code == 0
+        assert "Executor total" in text
+        assert "Speculator total" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        _, a = run_cli("simulate", "--model", "resnet18", "--seed", "3")
+        _, b = run_cli("simulate", "--model", "resnet18", "--seed", "3")
+        assert a == b
+
+    def test_different_seed_different_cycles(self):
+        _, a = run_cli("simulate", "--model", "resnet18", "--seed", "3")
+        _, b = run_cli("simulate", "--model", "resnet18", "--seed", "4")
+        assert a != b

@@ -1,0 +1,89 @@
+"""Tests for the programmatic experiment runners."""
+
+import pytest
+
+from repro.experiments import (
+    area_table,
+    energy_breakdowns,
+    mac_utilization,
+    overall_speedup,
+    rnn_memory_latency,
+    sota_comparison,
+    speculator_size_dse,
+    stage_speedups,
+)
+from repro.workloads import SparsityModel
+
+
+class TestOverallSpeedup:
+    def test_default_suite(self):
+        result = overall_speedup(models=("alexnet", "lstm"))
+        assert len(result.rows) == 2
+        assert result.geomean_speedup > 1.5
+        assert result.geomean_energy_saving > 1.3
+
+    def test_custom_sparsity_propagates(self):
+        sparse = overall_speedup(
+            models=("alexnet",), sparsity=SparsityModel(cnn_sensitive_mean=0.2)
+        )
+        dense = overall_speedup(
+            models=("alexnet",), sparsity=SparsityModel(cnn_sensitive_mean=0.8)
+        )
+        assert sparse.rows[0][1] > dense.rows[0][1]
+
+
+class TestSotaComparison:
+    def test_all_designs_present(self):
+        result = sota_comparison(models=("alexnet",))
+        assert set(result.ratios) == {
+            "eyeriss",
+            "cnvlutin",
+            "snapea",
+            "predict",
+            "predict+cnvlutin",
+        }
+        for metrics in result.ratios.values():
+            assert metrics["latency"] > 1.0
+            assert metrics["energy"] > 1.0
+
+
+class TestStageRunners:
+    def test_stage_speedup_ordering(self):
+        result = stage_speedups(models=("alexnet",))
+        assert result.mean("OS") < result.mean("BOS")
+        assert result.mean("IOS") < result.mean("DUET")
+
+    def test_utilization_structure(self):
+        result = mac_utilization(models=("alexnet",))
+        assert result.mean("BOS") > result.mean("OS")
+        assert result.mean("IOS") < result.mean("OS")
+
+    def test_first_layer_toggle(self):
+        with_first = stage_speedups(models=("alexnet",), skip_first_layer=False)
+        without = stage_speedups(models=("alexnet",), skip_first_layer=True)
+        assert len(with_first.per_stage["DUET"]) == len(without.per_stage["DUET"]) + 1
+
+
+class TestBreakdownRunners:
+    def test_rnn_memory_bound(self):
+        result = rnn_memory_latency(models=("lstm",))
+        base_mem, base_cmp, duet_mem, duet_cmp = result.memory_compute["lstm"]
+        assert base_mem > base_cmp
+        assert duet_mem < base_mem
+
+    def test_energy_speculator_share(self):
+        result = energy_breakdowns(models=("alexnet", "lstm"))
+        assert 0.0 < result.speculator_share("alexnet") < 0.12
+        assert result.speculator_share("lstm") < 0.02
+
+
+class TestDseAndArea:
+    def test_size_dse_monotone(self):
+        result = speculator_size_dse(sizes=((8, 8), (16, 32)), models=("alexnet",))
+        assert result.speedups[(8, 8)] <= result.speedups[(16, 32)]
+        assert result.chosen == (16, 32)
+
+    def test_area_shares(self):
+        result = area_table()
+        assert result.executor_share == pytest.approx(0.40, abs=0.03)
+        assert result.speculator_share == pytest.approx(0.066, abs=0.015)

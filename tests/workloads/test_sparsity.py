@@ -1,0 +1,156 @@
+"""Tests for the synthetic sparsity/workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.models import ConvSpec, RNNSpec, get_model_spec
+from repro.workloads import (
+    CnnLayerWorkload,
+    RnnLayerWorkload,
+    SparsityModel,
+    cnn_workloads,
+    rnn_workloads,
+)
+
+
+@pytest.fixture
+def conv_spec():
+    return ConvSpec("c", 8, 16, kernel=3, stride=1, padding=1, in_h=12, in_w=12)
+
+
+@pytest.fixture
+def workload(conv_spec):
+    sp = SparsityModel(seed=3, first_layer_dense=False)
+    return sp.cnn_layer(conv_spec, layer_index=1)
+
+
+class TestSparsityModel:
+    def test_deterministic_per_layer(self, conv_spec):
+        a = SparsityModel(seed=1).cnn_layer(conv_spec, 2)
+        b = SparsityModel(seed=1).cnn_layer(conv_spec, 2)
+        np.testing.assert_array_equal(a.omap, b.omap)
+        np.testing.assert_array_equal(a.imap, b.imap)
+
+    def test_different_layers_differ(self, conv_spec):
+        sp = SparsityModel(seed=1, first_layer_dense=False)
+        a, b = sp.cnn_layer(conv_spec, 1), sp.cnn_layer(conv_spec, 2)
+        assert not np.array_equal(a.omap, b.omap)
+
+    def test_mean_sensitive_fraction_calibrated(self, conv_spec):
+        sp = SparsityModel(cnn_sensitive_mean=0.4, seed=0, first_layer_dense=False)
+        fracs = [sp.cnn_layer(conv_spec, i).sensitive_fraction for i in range(1, 30)]
+        assert abs(np.mean(fracs) - 0.4) < 0.05
+
+    def test_first_layer_dense(self, conv_spec):
+        sp = SparsityModel(first_layer_dense=True)
+        wl = sp.cnn_layer(conv_spec, 0)
+        assert wl.sensitive_fraction == 1.0
+        assert wl.input_density == 1.0
+
+    def test_rnn_counts_in_range(self):
+        spec = RNNSpec("l", "lstm", 64, 64, seq_len=20)
+        wl = SparsityModel(rnn_sensitive_mean=0.45).rnn_layer(spec, 0)
+        assert wl.sensitive_counts.shape == (20, 4)
+        assert abs(wl.sensitive_fraction - 0.45) < 0.1
+
+
+class TestCnnLayerWorkload:
+    def test_shape_validation(self, conv_spec):
+        with pytest.raises(ValueError, match="omap shape"):
+            CnnLayerWorkload(
+                conv_spec,
+                omap=np.zeros((1, 2, 3), dtype=np.uint8),
+                imap=np.zeros((8, 12, 12), dtype=np.uint8),
+            )
+
+    def test_position_costs_match_direct_count(self, workload):
+        costs = workload.position_costs()
+        spec = workload.spec
+        assert costs.shape == (spec.out_h, spec.out_w)
+        # verify one position by direct counting (padding=1, kernel=3)
+        padded = np.pad(workload.imap, ((0, 0), (1, 1), (1, 1)))
+        direct = padded[:, 0:3, 0:3].sum()
+        assert costs[0, 0] == direct
+
+    def test_position_cycles_dense_uniform(self, workload):
+        cycles = workload.position_cycles(cols_per_row=16, use_imap=False)
+        receptive = workload.spec.receptive_field
+        assert np.all(cycles == -(-receptive // 16))
+
+    def test_position_cycles_imap_bounded(self, workload):
+        """Slice-max cycles lie between mean-slice and dense cost."""
+        cols = 16
+        imap_cycles = workload.position_cycles(cols, use_imap=True)
+        dense = -(-workload.spec.receptive_field // cols)
+        mean_cost = workload.position_costs().reshape(-1) / cols
+        assert np.all(imap_cycles <= dense)
+        assert np.all(imap_cycles >= np.floor(mean_cost))
+
+    def test_channel_cycles_os_identity(self, workload):
+        """Under OS, channel cycles == sensitive count x dense per-position."""
+        cycles = workload.channel_cycles(16, True, False)
+        dense = -(-workload.spec.receptive_field // 16)
+        counts = workload.omap.reshape(workload.spec.out_channels, -1).sum(axis=1)
+        np.testing.assert_array_equal(cycles, counts * dense)
+
+    def test_tile_cycles_sum_to_channel_cycles(self, workload):
+        tiles = workload.channel_tile_cycles(16, True, True, tile_positions=8)
+        totals = workload.channel_cycles(16, True, True)
+        np.testing.assert_array_equal(tiles.sum(axis=1), totals)
+
+    def test_channel_macs_dense_identity(self, workload):
+        macs = workload.channel_macs(False, False)
+        spec = workload.spec
+        per_channel = spec.out_h * spec.out_w * spec.receptive_field
+        np.testing.assert_allclose(macs, per_channel)
+
+    def test_channel_macs_monotone(self, workload):
+        """IOS executes no more than OS, which executes no more than dense."""
+        dense = workload.channel_macs(False, False).sum()
+        os_macs = workload.channel_macs(True, False).sum()
+        ios_macs = workload.channel_macs(True, True).sum()
+        assert ios_macs <= os_macs <= dense
+
+    def test_switch_counts(self, workload):
+        counts = workload.channel_switch_counts()
+        np.testing.assert_array_equal(
+            counts, workload.omap.sum(axis=(1, 2))
+        )
+
+    def test_tile_switch_counts_sum(self, workload):
+        tiles = workload.channel_tile_switch_counts(8)
+        np.testing.assert_array_equal(
+            tiles.sum(axis=1), workload.channel_switch_counts()
+        )
+
+
+class TestModelWorkloads:
+    def test_cnn_workload_per_conv_layer(self):
+        spec = get_model_spec("alexnet")
+        wl = cnn_workloads(spec)
+        assert len(wl) == len(spec.conv_layers)
+        assert wl[0].sensitive_fraction == 1.0  # first layer dense
+
+    def test_rnn_workload_per_layer(self):
+        spec = get_model_spec("lstm")
+        wl = rnn_workloads(spec)
+        assert len(wl) == 2
+        assert wl[0].sensitive_counts.shape == (35, 4)
+
+    def test_domain_mismatch(self):
+        with pytest.raises(ValueError, match="not a CNN"):
+            cnn_workloads(get_model_spec("lstm"))
+        with pytest.raises(ValueError, match="not an RNN"):
+            rnn_workloads(get_model_spec("alexnet"))
+
+
+class TestRnnWorkloadValidation:
+    def test_count_bounds(self):
+        spec = RNNSpec("l", "lstm", 8, 8, seq_len=2)
+        with pytest.raises(ValueError, match="out of"):
+            RnnLayerWorkload(spec, np.full((2, 4), 100))
+
+    def test_shape_check(self):
+        spec = RNNSpec("l", "gru", 8, 8, seq_len=2)
+        with pytest.raises(ValueError, match="shape"):
+            RnnLayerWorkload(spec, np.zeros((2, 4), dtype=np.int64))
