@@ -7,9 +7,12 @@ Commands:
 - ``stages``                the OS/BOS/IOS/DUET technique breakdown.
 - ``compare``               DUET vs the SOTA comparison accelerators.
 - ``area``                  the Table-I area breakdown.
+- ``faults``                run a fault campaign and print the
+  degradation report.
 
 Every command prints a plain-text table; all simulations are seeded and
-deterministic.
+deterministic.  Usage errors (unknown model, incompatible flags) exit
+with status 2 and a one-line message on stderr -- never a traceback.
 """
 
 from __future__ import annotations
@@ -19,11 +22,16 @@ import sys
 
 from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
 from repro.models import MODEL_REGISTRY, get_model_spec
+from repro.reliability import CAMPAIGNS, GuardSettings, run_fault_campaign
 from repro.sim import AreaModel, DuetAccelerator
 from repro.sim.config import STAGES
 from repro.workloads import SparsityModel, cnn_workloads, rnn_workloads
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CliError"]
+
+
+class CliError(Exception):
+    """A usage error the CLI reports as ``error: <message>`` (exit 2)."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +62,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("area", help="Table-I area breakdown")
+
+    p_faults = sub.add_parser(
+        "faults", help="run a fault campaign and print the degradation report"
+    )
+    p_faults.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    p_faults.add_argument(
+        "--campaign",
+        default="smoke",
+        choices=sorted(CAMPAIGNS),
+        help="built-in fault campaign to apply",
+    )
+    p_faults.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_faults.add_argument(
+        "--stage", default="DUET", choices=STAGES,
+        help="degradation-ladder rung the run starts at",
+    )
+    p_faults.add_argument(
+        "--no-guards", action="store_true",
+        help="disable the online guards (show the unprotected failure mode)",
+    )
     return parser
 
 
@@ -77,6 +105,10 @@ def _cmd_list_models(_args, out) -> int:
 
 def _cmd_simulate(args, out) -> int:
     spec = get_model_spec(args.model)
+    if args.include_fc and spec.domain != "cnn":
+        raise CliError(
+            f"--include-fc applies to CNN models; {args.model} is an RNN"
+        )
     workloads = _workloads_for(spec, args.seed, args.include_fc)
     report = DuetAccelerator(stage=args.stage).run(spec, workloads=workloads)
     out.write(f"{args.model} on {args.stage}:\n")
@@ -117,8 +149,9 @@ def _cmd_stages(args, out) -> int:
 def _cmd_compare(args, out) -> int:
     spec = get_model_spec(args.model)
     if spec.domain != "cnn":
-        out.write("compare supports CNN models only (Fig. 11b is CNN-only)\n")
-        return 2
+        raise CliError(
+            "compare supports CNN models only (Fig. 11b is CNN-only)"
+        )
     workloads = _workloads_for(spec, args.seed)
     duet = DuetAccelerator(stage="DUET").run(spec, workloads=workloads)
     out.write(f"{args.model}: normalised to DUET = 1.0 (paper Fig. 11b)\n")
@@ -155,20 +188,48 @@ def _cmd_area(_args, out) -> int:
     return 0
 
 
+def _cmd_faults(args, out) -> int:
+    report = run_fault_campaign(
+        model=args.model,
+        campaign=args.campaign,
+        seed=args.seed,
+        guards=GuardSettings(enabled=not args.no_guards),
+        initial_stage=args.stage,
+    )
+    out.write(report.format() + "\n")
+    return 0
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "simulate": _cmd_simulate,
     "stages": _cmd_stages,
     "compare": _cmd_compare,
     "area": _cmd_area,
+    "faults": _cmd_faults,
 }
 
 
-def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+def main(argv: list[str] | None = None, out=None, err=None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Usage errors -- a :class:`CliError` from a command, or a bad value
+    that slipped past argparse (``ValueError``/``KeyError`` from the
+    library layer) -- print one ``error: ...`` line on ``err`` and return
+    status 2; they never escape as tracebacks.
+    """
     out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except CliError as exc:
+        err.write(f"error: {exc}\n")
+        return 2
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        err.write(f"error: {message}\n")
+        return 2
 
 
 if __name__ == "__main__":

@@ -58,6 +58,7 @@ from repro.core.switching import (
 from repro.core.thresholds import (
     ThresholdTuner,
     allocate_layer_fractions,
+    suggest_guard_band,
     tune_dualized_classifier,
     tune_threshold_for_fraction,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "DualModuleGRUCell",
     "DualModuleReport",
     "ThresholdTuner",
+    "suggest_guard_band",
     "tune_threshold_for_fraction",
     "tune_dualized_classifier",
     "allocate_layer_fractions",

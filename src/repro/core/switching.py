@@ -35,7 +35,10 @@ SWITCHING_RULES = ("relu", "sigmoid", "tanh")
 
 
 def switching_map(
-    y_approx: np.ndarray, activation: str, threshold: float
+    y_approx: np.ndarray,
+    activation: str,
+    threshold: float,
+    guard_band: float = 0.0,
 ) -> np.ndarray:
     """Compute the binary switching map ``m`` from approximate results.
 
@@ -44,23 +47,32 @@ def switching_map(
         activation: one of ``relu``, ``sigmoid``, ``tanh``.
         threshold: the tuned threshold ``theta`` (must be non-negative for
             saturating rules, where it bounds ``|y'|``).
+        guard_band: non-negative hysteresis margin around the threshold.
+            Activations within the band of the decision boundary are
+            treated as sensitive even though the bare rule would keep the
+            approximate result -- the reliability layer widens the band to
+            absorb a biased or noisy Speculator (a borderline ``y'`` is
+            exactly where a small systematic error flips the decision).
+            ``0.0`` reproduces the paper's Eq. (3) rule unchanged.
 
     Returns:
         ``m`` with the same shape, dtype ``uint8``: 1 = sensitive (Executor
         must compute), 0 = insensitive (approximate result kept).
 
     Raises:
-        ValueError: on an unknown activation name.
+        ValueError: on an unknown activation name or a negative guard band.
     """
+    if guard_band < 0:
+        raise ValueError(f"guard_band must be non-negative, got {guard_band}")
     y_approx = np.asarray(y_approx)
     if activation == "relu":
-        return (y_approx >= threshold).astype(np.uint8)
+        return (y_approx >= threshold - guard_band).astype(np.uint8)
     if activation in ("sigmoid", "tanh"):
         if threshold < 0:
             raise ValueError(
                 f"saturation threshold must be non-negative, got {threshold}"
             )
-        return (np.abs(y_approx) <= threshold).astype(np.uint8)
+        return (np.abs(y_approx) <= threshold + guard_band).astype(np.uint8)
     raise ValueError(
         f"no switching rule for activation {activation!r}; "
         f"expected one of {SWITCHING_RULES}"

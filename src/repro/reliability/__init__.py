@@ -1,0 +1,89 @@
+"""Fault injection, online guards, and graceful degradation.
+
+The dual-module design has a built-in asymmetry the paper leans on for
+efficiency and this package leans on for robustness: the Speculator and
+its switching maps are *advisory*.  When they are wrong the accelerator
+loses efficiency or output quality -- never the values the Executor
+computed, and never forward progress.  The subsystem has four parts:
+
+- :mod:`~repro.reliability.faults` -- composable, seeded fault models
+  (map bit flips, weight-memory corruption, DRAM transfer errors, stuck
+  PE rows, Speculator bias) grouped into named campaigns.
+- :mod:`~repro.reliability.guards` -- map checksums with fail-safe dense
+  fallback, weight-memory scrubbing, and the sampled
+  Speculator-vs-Executor consistency audit.
+- :mod:`~repro.reliability.degrade` -- the monotone stage-ladder policy
+  (DUET -> IOS -> BOS -> OS -> BASE) driven by audit and guard budgets.
+- :mod:`~repro.reliability.runner` -- campaign runner: the analytical
+  degradation run plus the MAC-level invariant probe, rendered by
+  ``python -m repro faults``.
+"""
+
+from repro.reliability.context import GuardSettings, ReliabilityContext
+from repro.reliability.degrade import (
+    DEGRADATION_LADDER,
+    DegradationBudget,
+    DegradationPolicy,
+)
+from repro.reliability.faults import (
+    CAMPAIGNS,
+    BiasedSpeculator,
+    DramTransferFaults,
+    FaultCampaign,
+    FaultInjector,
+    IMapBitFlips,
+    OMapBitFlips,
+    StuckAtRows,
+    WeightCorruption,
+    get_campaign,
+)
+from repro.reliability.guards import (
+    AuditResult,
+    ConsistencyAuditor,
+    MapGuard,
+    WeightMemoryScrubber,
+    map_checksum,
+    row_checksums,
+)
+from repro.reliability.report import (
+    DegradationEvent,
+    LayerReliability,
+    ReliabilityReport,
+)
+from repro.reliability.runner import (
+    CampaignReport,
+    FunctionalProbe,
+    run_fault_campaign,
+    run_functional_probe,
+)
+
+__all__ = [
+    "BiasedSpeculator",
+    "CAMPAIGNS",
+    "CampaignReport",
+    "ConsistencyAuditor",
+    "AuditResult",
+    "DEGRADATION_LADDER",
+    "DegradationBudget",
+    "DegradationEvent",
+    "DegradationPolicy",
+    "DramTransferFaults",
+    "FaultCampaign",
+    "FaultInjector",
+    "FunctionalProbe",
+    "GuardSettings",
+    "IMapBitFlips",
+    "LayerReliability",
+    "MapGuard",
+    "OMapBitFlips",
+    "ReliabilityContext",
+    "ReliabilityReport",
+    "StuckAtRows",
+    "WeightCorruption",
+    "WeightMemoryScrubber",
+    "get_campaign",
+    "map_checksum",
+    "row_checksums",
+    "run_fault_campaign",
+    "run_functional_probe",
+]

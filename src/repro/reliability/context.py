@@ -1,0 +1,333 @@
+"""ReliabilityContext: the object the dataflow pipelines talk to.
+
+One context serves one simulated run.  The pipeline asks it three things,
+once per layer:
+
+1. ``effective_config(base)`` -- the hardware configuration for the layer,
+   i.e. the base config stepped down to the degradation policy's current
+   stage;
+2. ``process_cnn_workload`` / ``process_rnn_workload`` -- inject the
+   campaign's faults into the layer's maps, run the guards over the
+   result, audit the survivors, and hand back the workload the (possibly
+   faulty, possibly repaired) hardware would actually consume;
+3. ``finalize_layer`` -- fold in the DRAM retry counters and let the
+   degradation policy pick the stage for the *next* layer.
+
+The division of labour keeps the pipelines ignorant of fault mechanics:
+with ``reliability=None`` they run exactly the original fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.reliability.degrade import DegradationBudget, DegradationPolicy
+from repro.reliability.faults import FaultCampaign, FaultInjector, get_campaign
+from repro.reliability.guards import ConsistencyAuditor, MapGuard, row_checksums
+from repro.reliability.report import LayerReliability, ReliabilityReport
+from repro.sim.config import DuetConfig, stage_config
+from repro.sim.dram import Dram, TransferRetryPolicy
+from repro.workloads.sparsity import (
+    CnnLayerWorkload,
+    FcLayerWorkload,
+    RnnLayerWorkload,
+)
+
+__all__ = ["GuardSettings", "ReliabilityContext"]
+
+
+@dataclass(frozen=True)
+class GuardSettings:
+    """Knobs of the online guard machinery.
+
+    Attributes:
+        enabled: master switch; with guards disabled the faults flow
+            straight into the pipeline (the naive hardware the reliability
+            tests use as their foil).
+        guard_band: hysteresis margin around the switching threshold (see
+            :func:`repro.core.switching.switching_map`); absorbs part of a
+            Speculator bias before it becomes misspeculation.
+        audit_sample_rate: fraction of insensitive-marked outputs the
+            consistency audit recomputes per layer.
+        retry_policy: DRAM retry-with-backoff parameters.
+    """
+
+    enabled: bool = True
+    guard_band: float = 0.1
+    audit_sample_rate: float = 0.05
+    retry_policy: TransferRetryPolicy = field(default_factory=TransferRetryPolicy)
+
+
+class ReliabilityContext:
+    """Fault injection + guards + degradation for one simulated run.
+
+    Args:
+        campaign: a :class:`FaultCampaign` or the name of a built-in one.
+        seed: base seed; the whole run is a pure function of it.
+        guards: guard settings (defaults to guards enabled).
+        budget: degradation budgets (defaults are conservative).
+        initial_stage: ladder rung the run starts at.
+    """
+
+    def __init__(
+        self,
+        campaign: FaultCampaign | str = "none",
+        seed: int = 0,
+        guards: GuardSettings | None = None,
+        budget: DegradationBudget | None = None,
+        initial_stage: str = "DUET",
+    ):
+        if isinstance(campaign, str):
+            campaign = get_campaign(campaign)
+        self.campaign = campaign
+        self.seed = seed
+        self.guards = guards if guards is not None else GuardSettings()
+        self.injector = FaultInjector(campaign, seed)
+        self.policy = DegradationPolicy(
+            budget if budget is not None else DegradationBudget(),
+            initial_stage=initial_stage,
+        )
+        self.auditor = ConsistencyAuditor(
+            sample_rate=self.guards.audit_sample_rate, seed=seed
+        )
+        self.omap_guard = MapGuard()
+        self.imap_guard = MapGuard()
+        self.layers: list[LayerReliability] = []
+        self._pending: LayerReliability | None = None
+        self._snapshot: dict[str, int] = {}
+        self._dram: Dram | None = None
+        self._dram_marks = (0, 0, 0)  # retries, failed, unrecoverable
+        self._stuck: frozenset[int] | None = None
+
+    # -- pipeline-facing hooks ----------------------------------------------
+
+    def effective_config(self, base: DuetConfig) -> DuetConfig:
+        """The base config stepped down to the current ladder rung."""
+        return stage_config(self.policy.current_stage, base=base)
+
+    def make_dram(self, bandwidth: int) -> Dram:
+        """A DRAM interface carrying this campaign's channel faults."""
+        self._dram = Dram(
+            bandwidth,
+            fault_model=self.injector.dram_fault_model(),
+            retry_policy=self.guards.retry_policy,
+        )
+        self._dram_marks = (0, 0, 0)
+        return self._dram
+
+    def process_cnn_workload(self, index: int, workload, cfg: DuetConfig):
+        """Fault, guard and audit one CNN-side workload (CONV or FC)."""
+        rec = self._start_layer(workload.spec.name, cfg)
+        self._account_weights(rec, workload.spec.weight_elements, index)
+        true_omap = workload.omap
+        rec.total_sensitive = int(np.asarray(true_omap).sum())
+        if not cfg.enable_output_switching:
+            # accurate-only rung: the Speculator and its maps are out of
+            # the loop; every output is computed, nothing can be missed
+            return workload
+        omap, imap = self._guard_maps(
+            index,
+            true_omap,
+            workload.imap,
+            rec,
+            imap_consumed=cfg.enable_input_switching,
+        )
+        cls = FcLayerWorkload if isinstance(workload, FcLayerWorkload) else CnnLayerWorkload
+        return cls(workload.spec, omap, imap)
+
+    def process_rnn_workload(
+        self, index: int, workload: RnnLayerWorkload, cfg: DuetConfig
+    ) -> RnnLayerWorkload:
+        """Fault, guard and audit one recurrent layer's sensitive counts."""
+        rec = self._start_layer(workload.spec.name, cfg)
+        spec = workload.spec
+        self._account_weights(rec, spec.weight_elements, index)
+        true_counts = workload.sensitive_counts.astype(np.int64)
+        rec.total_sensitive = int(true_counts.sum())
+        if not cfg.enable_output_switching:
+            return workload
+
+        g = self.guards
+        guard_band = g.guard_band if g.enabled else 0.0
+        # Speculator bias happens before the count words are checksummed
+        spec_counts = self.injector.speculate_rnn_counts(
+            true_counts, index, guard_band
+        )
+        sums = row_checksums(spec_counts) if g.enabled else None
+        counts = self.injector.corrupt_rnn_counts(
+            spec_counts, spec.hidden_size, index
+        )
+        if g.enabled:
+            bad = row_checksums(counts) != sums
+            fails = int(bad.sum())
+            rec.channels_checked += int(bad.size)
+            if fails:
+                # a failed time step degrades to dense weight fetch
+                counts = np.where(bad[:, None], spec.hidden_size, counts)
+                rec.checksum_failures += fails
+                rec.repaired_channels += fails
+                rec.recovery_actions += fails
+            audit = self.auditor.audit_counts(
+                true_counts, counts, spec.hidden_size
+            )
+            rec.audit_samples = audit.samples
+            rec.audit_misses = audit.misses
+            # weighted as in the CNN path: danger rate over all outputs
+            insensitive = float(
+                np.clip(spec.hidden_size - counts, 0, None).sum()
+            )
+            rec.misspeculation_rate = audit.miss_rate * (
+                insensitive / (counts.size * spec.hidden_size)
+            )
+        rec.missed_sensitive = int(np.clip(true_counts - counts, 0, None).sum())
+        return RnnLayerWorkload(spec, counts.clip(0, spec.hidden_size))
+
+    def finalize_layer(self, layer_name: str) -> None:
+        """Close the layer: fold in DRAM counters, record the account, and
+        let the policy pick the next layer's stage."""
+        rec = self._pending
+        if rec is None or rec.name != layer_name:
+            raise RuntimeError(
+                f"finalize_layer({layer_name!r}) without matching "
+                "process_*_workload call"
+            )
+        rec.injected = self._injected_since(self._snapshot)
+        if self._dram is not None:
+            r0, f0, u0 = self._dram_marks
+            rec.dram_retries = self._dram.retries - r0
+            rec.dram_unrecoverable = self._dram.unrecoverable_transfers - u0
+            failed = self._dram.failed_transfers - f0
+            if failed:
+                rec.injected["dram"] = rec.injected.get("dram", 0) + failed
+            self._dram_marks = (
+                self._dram.retries,
+                self._dram.failed_transfers,
+                self._dram.unrecoverable_transfers,
+            )
+            if rec.dram_unrecoverable:
+                if self.guards.enabled:
+                    # the guard refuses the delivery: the data is refetched
+                    # densely on the spot rather than consumed corrupted
+                    rec.recovery_actions += rec.dram_unrecoverable
+                else:
+                    rec.value_hazards += rec.dram_unrecoverable
+        self.layers.append(rec)
+        self._pending = None
+        self.policy.observe(
+            layer_name,
+            misspeculation_rate=rec.misspeculation_rate,
+            checksum_failures=rec.checksum_failures,
+            channels_checked=rec.channels_checked,
+            dram_unrecoverable=rec.dram_unrecoverable,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _start_layer(self, name: str, cfg: DuetConfig) -> LayerReliability:
+        rec = LayerReliability(name=name, stage=self.policy.current_stage)
+        self._pending = rec
+        self._snapshot = dict(self.injector.injected)
+        self._account_stuck_rows(rec, cfg)
+        return rec
+
+    def _injected_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        return {
+            site: n - snapshot.get(site, 0)
+            for site, n in self.injector.injected.items()
+            if n - snapshot.get(site, 0)
+        }
+
+    def _account_weights(
+        self, rec: LayerReliability, weight_elements: int, index: int
+    ) -> None:
+        """Weight-memory corruption: scrubbed back from the golden copy
+        under guards, consumed (= value corruption) without.  Weight faults
+        matter at every ladder rung -- the Executor reads them even at
+        BASE."""
+        count = self.injector.weight_fault_count(weight_elements, index)
+        if count:
+            if self.guards.enabled:
+                rec.recovery_actions += count
+            else:
+                rec.value_hazards += count
+
+    def _account_stuck_rows(self, rec: LayerReliability, cfg: DuetConfig) -> None:
+        """Stuck PE rows: routed around under guards (exact values, fewer
+        usable rows), silent channel zeros without.  Silicon faults do not
+        move, so the row set is drawn once per run."""
+        if self._stuck is None:
+            self._stuck = self.injector.stuck_rows(cfg.executor_rows)
+        if self._stuck:
+            if self.guards.enabled:
+                rec.recovery_actions += len(self._stuck)
+            else:
+                rec.value_hazards += len(self._stuck)
+
+    def _guard_maps(
+        self,
+        index: int,
+        true_omap: np.ndarray,
+        true_imap: np.ndarray,
+        rec: LayerReliability,
+        imap_consumed: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The shared map path: speculate -> checksum -> transport ->
+        verify -> audit.  Returns the maps the Executor consumes."""
+        g = self.guards
+        guard_band = g.guard_band if g.enabled else 0.0
+
+        # the Speculator produces the OMap (bias applies here) and, when
+        # guards are on, checksums its own output -- so a biased map
+        # passes verification and only the audit can catch it
+        spec_omap = self.injector.speculate_omap(true_omap, index, guard_band)
+        omap_sums = self.omap_guard.protect(spec_omap) if g.enabled else None
+        imap_sums = self.imap_guard.protect(true_imap) if g.enabled else None
+
+        # transport faults while the maps sit in the GLB / cross the NoC
+        omap = self.injector.corrupt_omap(spec_omap, index)
+        imap = self.injector.corrupt_imap(true_imap, index)
+
+        if g.enabled:
+            omap, omap_fails = self.omap_guard.validate(omap, omap_sums)
+            imap, imap_fails = self.imap_guard.validate(imap, imap_sums)
+            rec.channels_checked += int(omap_sums.size) + int(imap_sums.size)
+            rec.checksum_failures += omap_fails + imap_fails
+            rec.repaired_channels += omap_fails + imap_fails
+            rec.recovery_actions += omap_fails + imap_fails
+            audit = self.auditor.audit(true_omap, omap, index)
+            rec.audit_samples = audit.samples
+            rec.audit_misses = audit.misses
+            # policy signal: estimated fraction of ALL outputs dangerously
+            # misspeculated.  The raw audit rate is conditional on the
+            # insensitive-marked population; unweighted it would read 1.0
+            # on a dense layer where the only insensitive marks are the
+            # handful of faulty drops the audit then samples.
+            rec.misspeculation_rate = audit.miss_rate * float(
+                (np.asarray(omap) == 0).mean()
+            )
+
+        # quality loss: truly-sensitive outputs the consumed map misses
+        rec.missed_sensitive = int(((np.asarray(true_omap) == 1) & (omap == 0)).sum())
+        # value hazard: a needed input treated as zero under input
+        # switching -- the one map fault that corrupts computed values
+        if imap_consumed:
+            rec.value_hazards += int(
+                ((np.asarray(true_imap) == 1) & (imap == 0)).sum()
+            )
+        return omap, imap
+
+    # -- results -------------------------------------------------------------
+
+    def summary(self) -> ReliabilityReport:
+        """The run's reliability report (attach to the ModelReport)."""
+        return ReliabilityReport(
+            campaign=self.campaign.name,
+            seed=self.seed,
+            guards_enabled=self.guards.enabled,
+            initial_stage=self.policy.initial_stage,
+            final_stage=self.policy.current_stage,
+            layers=list(self.layers),
+            events=list(self.policy.events),
+        )

@@ -1,0 +1,135 @@
+"""Result structures of the reliability layer.
+
+These are deliberately free of imports from :mod:`repro.sim` so that
+:mod:`repro.sim.report` can reference them without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LayerReliability", "DegradationEvent", "ReliabilityReport"]
+
+
+@dataclass
+class LayerReliability:
+    """Per-layer reliability account.
+
+    Attributes:
+        name: layer name.
+        stage: the operating stage the layer executed at.
+        injected: faults injected into this layer, keyed by site.
+        checksum_failures: map channels whose CRC failed verification.
+        channels_checked: map channels the guards verified.
+        repaired_channels: channels degraded to fail-safe dense.
+        audit_samples / audit_misses: consistency-audit outcome.
+        misspeculation_rate: audited estimate of the fraction of the
+            layer's outputs dangerously misspeculated (the audit's
+            conditional miss rate weighted by the insensitive-marked
+            fraction) -- the signal the degradation policy consumes.
+        missed_sensitive: truly-sensitive outputs the consumed map still
+            marked insensitive (quality loss, never value corruption).
+        total_sensitive: truly-sensitive outputs of the layer.
+        value_hazards: faults that *would* corrupt computed values if no
+            guard intervened (IMap 1->0 flips consumed under input
+            switching, unrecoverable DRAM transfers, unrouted stuck rows).
+            With guards enabled this must be zero -- the tests assert it.
+        dram_retries / dram_unrecoverable: off-chip retry activity.
+        recovery_actions: guard interventions taken for this layer.
+    """
+
+    name: str
+    stage: str
+    injected: dict[str, int] = field(default_factory=dict)
+    checksum_failures: int = 0
+    channels_checked: int = 0
+    repaired_channels: int = 0
+    audit_samples: int = 0
+    audit_misses: int = 0
+    misspeculation_rate: float = 0.0
+    missed_sensitive: int = 0
+    total_sensitive: int = 0
+    value_hazards: int = 0
+    dram_retries: int = 0
+    dram_unrecoverable: int = 0
+    recovery_actions: int = 0
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One step down the degradation ladder."""
+
+    layer: str
+    from_stage: str
+    to_stage: str
+    reason: str
+
+
+@dataclass
+class ReliabilityReport:
+    """Whole-run reliability account attached to a ModelReport.
+
+    Attributes:
+        campaign: name of the fault campaign applied.
+        seed: campaign seed (the run is a pure function of it).
+        guards_enabled: whether the online guards were active.
+        initial_stage / final_stage: operating stages before and after
+            degradation.
+        layers: per-layer accounts, in execution order.
+        events: degradation transitions, in order.
+    """
+
+    campaign: str
+    seed: int
+    guards_enabled: bool
+    initial_stage: str
+    final_stage: str
+    layers: list[LayerReliability] = field(default_factory=list)
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def total_injected(self) -> dict[str, int]:
+        """Injected fault counts summed over layers, keyed by site."""
+        totals: dict[str, int] = {}
+        for layer in self.layers:
+            for site, n in layer.injected.items():
+                totals[site] = totals.get(site, 0) + n
+        return totals
+
+    @property
+    def total_value_hazards(self) -> int:
+        """Value hazards that reached the Executor (0 under guards)."""
+        return sum(layer.value_hazards for layer in self.layers)
+
+    @property
+    def total_recovery_actions(self) -> int:
+        """All guard interventions across the run."""
+        return sum(layer.recovery_actions for layer in self.layers)
+
+    @property
+    def total_dram_retries(self) -> int:
+        return sum(layer.dram_retries for layer in self.layers)
+
+    @property
+    def total_dram_unrecoverable(self) -> int:
+        return sum(layer.dram_unrecoverable for layer in self.layers)
+
+    @property
+    def misspeculation_rate(self) -> float:
+        """Run-level audited dangerous-miss estimate."""
+        samples = sum(layer.audit_samples for layer in self.layers)
+        misses = sum(layer.audit_misses for layer in self.layers)
+        return misses / samples if samples else 0.0
+
+    @property
+    def quality_retained(self) -> float:
+        """Fraction of truly-sensitive outputs that were computed
+        accurately (1.0 = no silent quality loss)."""
+        sensitive = sum(layer.total_sensitive for layer in self.layers)
+        missed = sum(layer.missed_sensitive for layer in self.layers)
+        return 1.0 - missed / sensitive if sensitive else 1.0
+
+    @property
+    def values_never_corrupted(self) -> bool:
+        """The analytical form of the core invariant."""
+        return self.total_value_hazards == 0

@@ -1,0 +1,280 @@
+"""Campaign runner: degradation run + functional invariant probe.
+
+:func:`run_fault_campaign` exercises one fault campaign against one
+benchmark model from two independent angles:
+
+1. **Analytical degradation run** -- the real dataflow pipeline
+   (:class:`repro.sim.accelerator.DuetAccelerator`) executes the model
+   under a :class:`~repro.reliability.context.ReliabilityContext`: faults
+   hit every layer's maps/counts and the DRAM channel, guards repair what
+   they can, and the degradation policy steps the stage ladder down when
+   budgets blow.  This produces the :class:`ReliabilityReport` with the
+   run's whole account.
+
+2. **Functional invariant probe** -- a small CONV layer executed MAC by
+   MAC on the :class:`~repro.sim.functional.FunctionalExecutorArray`,
+   with the same campaign's faults applied to its maps, weights, and PE
+   rows.  The probe diffs the faulty-but-guarded output against a clean
+   dense reference at every position the consumed map computed: the
+   numerical form of the correctness contract ("computed values are never
+   corrupted").  Campaigns run with guards disabled are *expected* to
+   corrupt the probe -- that asymmetry is what the tests pin down.
+
+Both angles are pure functions of ``(model, campaign, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.models.registry import get_model_spec
+from repro.reliability.context import GuardSettings, ReliabilityContext
+from repro.reliability.degrade import DegradationBudget
+from repro.reliability.faults import FaultCampaign, FaultInjector, get_campaign
+from repro.reliability.guards import MapGuard, WeightMemoryScrubber
+from repro.reliability.report import ReliabilityReport
+from repro.sim.config import DuetConfig
+from repro.sim.functional import FunctionalExecutorArray
+from repro.workloads.sparsity import SparsityModel
+
+__all__ = [
+    "FunctionalProbe",
+    "CampaignReport",
+    "run_fault_campaign",
+    "run_functional_probe",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalProbe:
+    """Outcome of the MAC-level invariant probe.
+
+    Attributes:
+        positions_checked: output positions the consumed OMap computed.
+        mismatches: checked positions whose value differs from the clean
+            dense reference.
+        values_corrupted: ``mismatches > 0`` -- the functional form of the
+            invariant (must be False whenever guards are enabled).
+    """
+
+    positions_checked: int
+    mismatches: int
+
+    @property
+    def values_corrupted(self) -> bool:
+        return self.mismatches > 0
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced, with a CLI rendering."""
+
+    model: str
+    campaign: str
+    seed: int
+    guards_enabled: bool
+    reliability: ReliabilityReport
+    probe: FunctionalProbe
+    latency_ms: float
+
+    @property
+    def invariant_held(self) -> bool:
+        """True when neither angle observed a corrupted computed value."""
+        return (
+            self.reliability.values_never_corrupted
+            and not self.probe.values_corrupted
+        )
+
+    def format(self) -> str:
+        """Multi-line degradation report for the CLI."""
+        r = self.reliability
+        lines = [
+            f"fault campaign {self.campaign!r} on {self.model} "
+            f"(seed {self.seed}, guards {'on' if self.guards_enabled else 'off'})",
+        ]
+        injected = r.total_injected
+        if injected:
+            per_site = ", ".join(
+                f"{site}={n}" for site, n in sorted(injected.items())
+            )
+            lines.append(
+                f"  faults injected      : {per_site} "
+                f"(total {sum(injected.values())})"
+            )
+        else:
+            lines.append("  faults injected      : none")
+        checksum_failures = sum(layer.checksum_failures for layer in r.layers)
+        repaired = sum(layer.repaired_channels for layer in r.layers)
+        lines.append(
+            f"  guard recoveries     : {r.total_recovery_actions} "
+            f"({checksum_failures} checksum failures, "
+            f"{repaired} channels to fail-safe)"
+        )
+        lines.append(
+            f"  dram                 : {r.total_dram_retries} retries, "
+            f"{r.total_dram_unrecoverable} unrecoverable"
+        )
+        lines.append(
+            f"  audited misspec rate : {r.misspeculation_rate:.4f}"
+        )
+        if r.events:
+            lines.append(
+                f"  degradation          : {r.initial_stage} -> {r.final_stage} "
+                f"in {len(r.events)} step(s)"
+            )
+            for event in r.events:
+                lines.append(
+                    f"    after {event.layer}: {event.from_stage} -> "
+                    f"{event.to_stage} ({event.reason})"
+                )
+        else:
+            lines.append(
+                f"  degradation          : none (stayed at {r.final_stage})"
+            )
+        lines.append(
+            f"  quality retained     : {100.0 * r.quality_retained:.2f}% of "
+            "sensitive outputs computed accurately"
+        )
+        lines.append(f"  latency              : {self.latency_ms:.3f} ms")
+        verdict = "PASS" if self.invariant_held else "VIOLATED"
+        lines.append(
+            f"  values-never-corrupted invariant: {verdict} "
+            f"(analytical hazards {r.total_value_hazards}; functional probe "
+            f"{self.probe.mismatches}/{self.probe.positions_checked} "
+            "positions corrupted)"
+        )
+        return "\n".join(lines)
+
+
+def _probe_config() -> DuetConfig:
+    """A small array the MAC-by-MAC probe can afford."""
+    return replace(DuetConfig(), executor_rows=4, executor_cols=4)
+
+
+def run_functional_probe(
+    campaign: FaultCampaign | str,
+    seed: int = 0,
+    guards: GuardSettings | None = None,
+) -> FunctionalProbe:
+    """Execute the MAC-level invariant probe for one campaign.
+
+    A small CONV layer runs twice on the functional PE array: once clean
+    and dense (the reference), once with the campaign's faults applied to
+    its switching maps, weight memory, and PE rows -- guarded or not per
+    ``guards.enabled``.  Every position the consumed OMap computed is
+    diffed against the reference.
+    """
+    if isinstance(campaign, str):
+        campaign = get_campaign(campaign)
+    guards = guards if guards is not None else GuardSettings()
+    cfg = _probe_config()
+    injector = FaultInjector(campaign, seed)
+    rng = np.random.default_rng((seed, 0xB10B))
+
+    c_in, c_out, size, kernel = 3, 8, 8, 3
+    x = rng.normal(size=(c_in, size, size))
+    x *= rng.random(x.shape) < 0.7  # realistic input sparsity
+    weight = rng.normal(size=(c_out, c_in, kernel, kernel))
+    out = size - kernel + 1
+    true_omap = (rng.random((c_out, out, out)) < 0.6).astype(np.int64)
+    true_imap = (x != 0).astype(np.int64)  # exact: masking by it is lossless
+
+    # clean dense reference: every output computed, nothing skipped
+    reference = FunctionalExecutorArray(cfg).run_conv(
+        x, weight, np.ones_like(true_omap)
+    )
+
+    # the faulty path: speculate -> checksum -> transport -> verify,
+    # mirroring ReliabilityContext._guard_maps at the value level
+    band = guards.guard_band if guards.enabled else 0.0
+    omap = injector.speculate_omap(true_omap, 0, band)
+    omap_guard, imap_guard = MapGuard(), MapGuard()
+    omap_sums = omap_guard.protect(omap) if guards.enabled else None
+    imap_sums = imap_guard.protect(true_imap) if guards.enabled else None
+    omap = injector.corrupt_omap(omap, 0)
+    imap = injector.corrupt_imap(true_imap, 0)
+    if guards.enabled:
+        omap, _ = omap_guard.validate(omap, omap_sums)
+        imap, _ = imap_guard.validate(imap, imap_sums)
+
+    corrupted_weight = injector.corrupt_weights(weight, 0)
+    if guards.enabled:
+        scrubber = WeightMemoryScrubber()
+        scrubber.protect(weight)
+        used_weight, _ = scrubber.scrub(corrupted_weight)
+    else:
+        used_weight = corrupted_weight
+
+    stuck = injector.stuck_rows(cfg.executor_rows)
+    faulty = FunctionalExecutorArray(cfg).run_conv(
+        x,
+        used_weight,
+        omap,
+        imap=imap,
+        stuck_rows=stuck,
+        route_around_faults=guards.enabled,
+    )
+
+    computed = np.asarray(omap).astype(bool)
+    diff = np.abs(faulty.output - reference.output)[computed]
+    return FunctionalProbe(
+        positions_checked=int(computed.sum()),
+        mismatches=int((diff > 1e-9).sum()),
+    )
+
+
+def run_fault_campaign(
+    model: str = "resnet18",
+    campaign: FaultCampaign | str = "smoke",
+    seed: int = 0,
+    guards: GuardSettings | None = None,
+    budget: DegradationBudget | None = None,
+    initial_stage: str = "DUET",
+    config: DuetConfig | None = None,
+) -> CampaignReport:
+    """Run one fault campaign end to end.
+
+    Args:
+        model: registered benchmark model name.
+        campaign: campaign object or built-in campaign name.
+        seed: seeds the fault injector, the audit sampling, and the
+            workload sparsity draw -- the whole report is a pure function
+            of ``(model, campaign, seed)``.
+        guards: guard settings (pass ``GuardSettings(enabled=False)`` for
+            the unguarded foil).
+        budget: degradation budgets.
+        initial_stage: ladder rung the run starts at.
+        config: base hardware config (defaults to the paper's).
+
+    Returns:
+        A :class:`CampaignReport`.
+    """
+    from repro.sim.accelerator import DuetAccelerator
+
+    spec = get_model_spec(model)
+    guards = guards if guards is not None else GuardSettings()
+    ctx = ReliabilityContext(
+        campaign=campaign,
+        seed=seed,
+        guards=guards,
+        budget=budget,
+        initial_stage=initial_stage,
+    )
+    acc = DuetAccelerator(
+        config=config,
+        sparsity=SparsityModel(seed=seed),
+        reliability=ctx,
+    )
+    sim_report = acc.run(spec)
+    probe = run_functional_probe(ctx.campaign, seed=seed, guards=guards)
+    return CampaignReport(
+        model=model,
+        campaign=ctx.campaign.name,
+        seed=seed,
+        guards_enabled=guards.enabled,
+        reliability=sim_report.reliability,
+        probe=probe,
+        latency_ms=sim_report.latency_ms,
+    )

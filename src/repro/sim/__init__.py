@@ -27,6 +27,7 @@ Cycle-level (tile-granular) simulation of the dual-module architecture:
 from repro.sim.accelerator import DuetAccelerator
 from repro.sim.area import AreaBreakdown, AreaModel
 from repro.sim.config import STAGES, DuetConfig, stage_config
+from repro.sim.dram import Dram, TransferRetryPolicy
 from repro.sim.energy import EnergyBreakdown, EnergyModel
 from repro.sim.event import EventSimulator, simulate_cnn_events
 from repro.sim.executor import ExecutorModel
@@ -52,6 +53,8 @@ __all__ = [
     "SpeculatorModel",
     "CnnPipeline",
     "RnnPipeline",
+    "Dram",
+    "TransferRetryPolicy",
     "ModelReport",
     "LayerReport",
     "ReorderUnit",

@@ -42,6 +42,9 @@ class DuetAccelerator:
             order of magnitude fewer parameters than the accurate layers).
         sparsity: workload sparsity statistics (used when ``run`` is given
             a bare model spec rather than explicit workloads).
+        reliability: optional :class:`repro.reliability.ReliabilityContext`
+            threaded through to the pipelines -- faults, guards, and
+            graceful degradation for the run.
     """
 
     def __init__(
@@ -51,6 +54,7 @@ class DuetAccelerator:
         energy_model: EnergyModel | None = None,
         reduction: float = 0.125,
         sparsity: SparsityModel | None = None,
+        reliability=None,
     ):
         if config is not None and stage is not None:
             raise ValueError("pass either config or stage, not both")
@@ -60,6 +64,7 @@ class DuetAccelerator:
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.reduction = reduction
         self.sparsity = sparsity if sparsity is not None else SparsityModel()
+        self.reliability = reliability
 
     def run(
         self,
@@ -75,11 +80,21 @@ class DuetAccelerator:
         if model.domain == "cnn":
             if workloads is None:
                 workloads = cnn_workloads(model, self.sparsity)
-            pipeline = CnnPipeline(self.config, self.energy_model, self.reduction)
+            pipeline = CnnPipeline(
+                self.config,
+                self.energy_model,
+                self.reduction,
+                reliability=self.reliability,
+            )
             return pipeline.run(model, workloads)
         if workloads is None:
             workloads = rnn_workloads(model, self.sparsity)
-        pipeline = RnnPipeline(self.config, self.energy_model, self.reduction)
+        pipeline = RnnPipeline(
+            self.config,
+            self.energy_model,
+            self.reduction,
+            reliability=self.reliability,
+        )
         return pipeline.run(model, workloads)
 
     def run_batch(

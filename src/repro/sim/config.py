@@ -89,6 +89,8 @@ class DuetConfig:
             "glb_bytes",
             "glb_bandwidth",
             "dram_bandwidth",
+            "executor_bits",
+            "speculator_bits",
             "quantizer_throughput",
             "adder_tree_lanes",
             "mfu_throughput",
@@ -97,8 +99,40 @@ class DuetConfig:
             "reorder_buckets",
             "reorder_window_tiles",
         ):
-            if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(
+                    f"DuetConfig.{name} must be positive, got {value!r}"
+                )
+        # the PE/systolic arrays, the NoC multicast (row, col) ID scheme and
+        # the power-of-two channel-tile sweep of repro.sim.tiling all assume
+        # power-of-two array geometry
+        for name in (
+            "executor_rows",
+            "executor_cols",
+            "speculator_rows",
+            "speculator_cols",
+        ):
+            value = getattr(self, name)
+            if value & (value - 1):
+                raise ValueError(
+                    f"DuetConfig.{name} must be a power of two, got {value}: "
+                    "the PE/systolic arrays, NoC multicast IDs and channel "
+                    "tiling assume power-of-two geometry"
+                )
+        if self.speculator_bits >= self.executor_bits:
+            raise ValueError(
+                f"DuetConfig.speculator_bits ({self.speculator_bits}) must be "
+                f"narrower than executor_bits ({self.executor_bits}): the "
+                "Speculator is the reduced-precision module (paper "
+                "Section III-B)"
+            )
+        if self.glb_bytes % self.glb_bandwidth:
+            raise ValueError(
+                f"DuetConfig.glb_bytes ({self.glb_bytes}) must be a multiple "
+                f"of glb_bandwidth ({self.glb_bandwidth}): the GLB is banked "
+                "one bandwidth-width word per bank"
+            )
 
     @property
     def num_pes(self) -> int:

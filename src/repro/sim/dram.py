@@ -1,17 +1,61 @@
-"""Off-chip DRAM model: bandwidth latency and access accounting.
+"""Off-chip DRAM model: bandwidth latency, access accounting, retries.
 
 RNN execution is dominated by cyclically re-fetching weight matrices from
 DRAM (paper Section IV-B); the dynamic switching maps let DUET fetch only
 the rows belonging to sensitive output neurons.  This model converts byte
 traffic to cycles at a configured bandwidth and keeps cumulative counters
 for the energy model.
+
+For the reliability layer (:mod:`repro.reliability`) the interface also
+models *flaky* channels: an optional fault model may fail individual
+transfers, which are then retried with exponential backoff.  A transfer
+that exhausts its retries is recorded as unrecoverable -- the caller's
+guards must treat the affected data as untrusted (fail-safe dense
+execution) so that a flaky channel can cost cycles and accuracy but never
+deliver silently-corrupted values.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Callable
 
-__all__ = ["Dram"]
+__all__ = ["Dram", "TransferRetryPolicy"]
+
+#: fault-model signature: ``(direction, num_bytes, attempt) -> bool``
+#: returning True marks the attempt as failed (corrupted burst).
+TransferFaultModel = Callable[[str, int, int], bool]
+
+
+@dataclass(frozen=True)
+class TransferRetryPolicy:
+    """Retry-with-backoff semantics for failed DRAM transfers.
+
+    Attributes:
+        max_retries: how many times a failed transfer is re-issued before
+            it is declared unrecoverable.
+        backoff_cycles: idle cycles inserted before the first retry; each
+            further retry doubles the wait (exponential backoff, the
+            standard policy for transient-channel errors).
+    """
+
+    max_retries: int = 3
+    backoff_cycles: int = 8
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff_cycles < 0:
+            raise ValueError(
+                f"backoff_cycles must be non-negative, got {self.backoff_cycles}"
+            )
+
+    def wait_before(self, retry_index: int) -> int:
+        """Backoff cycles inserted before retry number ``retry_index`` (0-based)."""
+        return self.backoff_cycles * (1 << retry_index)
 
 
 class Dram:
@@ -19,38 +63,82 @@ class Dram:
 
     Attributes:
         bandwidth: bytes per cycle at the accelerator clock.
-        bytes_read / bytes_written: cumulative traffic counters.
+        bytes_read / bytes_written: cumulative *useful* traffic counters
+            (retransmissions are charged as cycles, not counted as demand
+            traffic, so the energy model keeps billing logical accesses).
+        retries: transfers that were re-issued after a fault.
+        failed_transfers: individual transfer attempts that faulted.
+        unrecoverable_transfers: transfers still faulty after
+            ``retry_policy.max_retries`` re-issues.
+        retry_cycles: extra interface cycles spent on retransmission and
+            backoff (already included in the values ``read``/``write``
+            return).
     """
 
-    def __init__(self, bandwidth: int):
+    def __init__(
+        self,
+        bandwidth: int,
+        fault_model: TransferFaultModel | None = None,
+        retry_policy: TransferRetryPolicy | None = None,
+    ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.bandwidth = bandwidth
+        self.fault_model = fault_model
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else TransferRetryPolicy()
+        )
         self.bytes_read = 0
         self.bytes_written = 0
+        self.retries = 0
+        self.failed_transfers = 0
+        self.unrecoverable_transfers = 0
+        self.retry_cycles = 0
 
     def reset(self) -> None:
-        """Zero the traffic counters."""
+        """Zero the traffic and fault counters."""
         self.bytes_read = 0
         self.bytes_written = 0
+        self.retries = 0
+        self.failed_transfers = 0
+        self.unrecoverable_transfers = 0
+        self.retry_cycles = 0
+
+    def _transfer(self, num_bytes: int, direction: str) -> int:
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        base = self.cycles_for(num_bytes)
+        if self.fault_model is None or num_bytes == 0:
+            return base
+        cycles = base
+        for attempt in range(self.retry_policy.max_retries + 1):
+            if not self.fault_model(direction, num_bytes, attempt):
+                return cycles
+            self.failed_transfers += 1
+            if attempt == self.retry_policy.max_retries:
+                self.unrecoverable_transfers += 1
+                return cycles
+            extra = self.retry_policy.wait_before(attempt) + base
+            self.retries += 1
+            self.retry_cycles += extra
+            cycles += extra
+        return cycles
 
     def read(self, num_bytes: int) -> int:
         """Record a read; returns the cycles it occupies the interface."""
-        if num_bytes < 0:
-            raise ValueError("negative byte count")
+        cycles = self._transfer(num_bytes, "read")
         self.bytes_read += num_bytes
-        return self.cycles_for(num_bytes)
+        return cycles
 
     def write(self, num_bytes: int) -> int:
         """Record a write; returns the cycles it occupies the interface."""
-        if num_bytes < 0:
-            raise ValueError("negative byte count")
+        cycles = self._transfer(num_bytes, "write")
         self.bytes_written += num_bytes
-        return self.cycles_for(num_bytes)
+        return cycles
 
     @property
     def total_bytes(self) -> int:
-        """All traffic recorded so far."""
+        """All demand traffic recorded so far."""
         return self.bytes_read + self.bytes_written
 
     def cycles_for(self, num_bytes: int) -> int:

@@ -79,6 +79,8 @@ class FunctionalExecutorArray:
         stride: int = 1,
         padding: int = 0,
         schedule: list[list[int]] | None = None,
+        stuck_rows: frozenset[int] | set[int] = frozenset(),
+        route_around_faults: bool = False,
     ) -> FunctionalRunResult:
         """Execute one CONV layer functionally.
 
@@ -94,12 +96,31 @@ class FunctionalExecutorArray:
             stride/padding: convolution geometry.
             schedule: channel groups per scheduling step; defaults to the
                 naive in-order grouping.
+            stuck_rows: physical PE-row indices whose MAC datapath is stuck
+                (fault-injection hook for :mod:`repro.reliability`).  A
+                stuck row burns cycles but its accumulator reads back zero.
+            route_around_faults: when True the scheduler knows which rows
+                are stuck (BIST detected them) and assigns channels only to
+                healthy rows, preserving exact outputs at reduced
+                throughput -- the graceful-degradation path.  When False,
+                channels mapped to stuck rows silently produce zeros (the
+                unguarded failure the reliability tests must observe).
 
         Returns:
             A :class:`FunctionalRunResult`.
         """
         cfg = self.config
         rows, cols = cfg.executor_rows, cfg.executor_cols
+        stuck = frozenset(stuck_rows)
+        for r in stuck:
+            if not 0 <= r < rows:
+                raise ValueError(f"stuck row {r} outside [0, {rows})")
+        if route_around_faults:
+            active_rows = [r for r in range(rows) if r not in stuck]
+            if not active_rows:
+                raise ValueError("every PE row is stuck; nothing can execute")
+        else:
+            active_rows = list(range(rows))
         x = np.asarray(x, dtype=np.float64)
         weight = np.asarray(weight, dtype=np.float64)
         c_out, c_in, kh, kw = weight.shape
@@ -133,11 +154,16 @@ class FunctionalExecutorArray:
         # static per-position instruction schedule: PE j of a row handles
         # reduction slice [j*slice_len, (j+1)*slice_len)
         slice_len = -(-receptive // cols)
+        group_size = len(active_rows)
         if schedule is None:
             schedule = [
-                list(range(start, min(start + rows, c_out)))
-                for start in range(0, c_out, rows)
+                list(range(start, min(start + group_size, c_out)))
+                for start in range(0, c_out, group_size)
             ]
+        elif any(len(group) > group_size for group in schedule):
+            raise ValueError(
+                f"schedule group exceeds the {group_size} usable PE rows"
+            )
 
         output = np.zeros((c_out, positions))
         flat_omap = np.asarray(omap).reshape(c_out, positions).astype(bool)
@@ -150,10 +176,12 @@ class FunctionalExecutorArray:
         for group in schedule:
             # weights multicast: each row receives its channel's filter
             self.noc.deliver(
-                receptive, set(range(len(group))), set(range(cols))
+                receptive, set(active_rows[: len(group)]), set(range(cols))
             )
             step_row_cycles = np.zeros(rows, dtype=np.int64)
-            for row_idx, channel in enumerate(group):
+            for slot, channel in enumerate(group):
+                row_idx = active_rows[slot]
+                row_is_stuck = row_idx in stuck
                 pe_row = self.pes[row_idx]
                 w_flat = flat_weights[channel]
                 for pos in range(positions):
@@ -181,7 +209,9 @@ class FunctionalExecutorArray:
                         psum = pe.run(instructions, tags)
                         acc += psum[0]
                         pe_costs[j] = int(tags.sum())
-                    output[channel, pos] = acc
+                    # a stuck row's accumulator reads back zero: the MACs
+                    # ran (cycles and counters accrue) but the value is lost
+                    output[channel, pos] = 0.0 if row_is_stuck else acc
                     # the position completes when the busiest PE finishes
                     step_row_cycles[row_idx] += int(pe_costs.max())
             row_cycles += step_row_cycles

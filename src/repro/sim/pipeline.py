@@ -15,6 +15,8 @@ Implements paper Section IV:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.models.layer_spec import BYTES_PER_ELEMENT, ModelSpec
 from repro.sim.config import DuetConfig
 from repro.sim.dram import Dram
@@ -30,6 +32,9 @@ from repro.workloads.sparsity import (
     RnnLayerWorkload,
 )
 
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.reliability
+    from repro.reliability.context import ReliabilityContext
+
 __all__ = ["CnnPipeline", "RnnPipeline"]
 
 #: local-buffer accesses charged per executed MAC (operand read + psum
@@ -37,31 +42,63 @@ __all__ = ["CnnPipeline", "RnnPipeline"]
 _LOCAL_ACCESSES_PER_MAC = 2.0
 
 
+class _UnitCache:
+    """Executor/Speculator models keyed by configuration.
+
+    Degradation switches the operating stage between layers; the stage
+    configs of one run are few, so the analytical unit models are built
+    once per distinct :class:`DuetConfig` (frozen, hence hashable) and
+    reused.
+    """
+
+    def __init__(self):
+        self._units: dict[DuetConfig, tuple[ExecutorModel, SpeculatorModel]] = {}
+
+    def __call__(self, cfg: DuetConfig) -> tuple[ExecutorModel, SpeculatorModel]:
+        units = self._units.get(cfg)
+        if units is None:
+            units = (ExecutorModel(cfg), SpeculatorModel(cfg))
+            self._units[cfg] = units
+        return units
+
+
 class CnnPipeline:
-    """Layer-pipelined CNN execution (paper Section IV-A)."""
+    """Layer-pipelined CNN execution (paper Section IV-A).
+
+    Args:
+        config: hardware/feature configuration (base stage).
+        energy_model: per-event energy costs.
+        reduction: Speculator workload-reduction factor.
+        reliability: optional :class:`repro.reliability.ReliabilityContext`;
+            when given, each layer runs at the context's current degradation
+            stage, its workload passes through the fault injector and
+            guards, and the finished report carries the reliability account.
+    """
 
     def __init__(
         self,
         config: DuetConfig | None = None,
         energy_model: EnergyModel | None = None,
         reduction: float = 0.125,
+        reliability: "ReliabilityContext | None" = None,
     ):
         self.config = config if config is not None else DuetConfig()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.reduction = reduction
-        self.executor = ExecutorModel(self.config)
-        self.speculator = SpeculatorModel(self.config)
+        self.reliability = reliability
+        self._units = _UnitCache()
+        self.executor, self.speculator = self._units(self.config)
 
-    def _speculation_for(self, workload):
+    def _speculation_for(self, workload, cfg: DuetConfig):
         """Speculation cost of producing ``workload``'s switching maps."""
-        cfg = self.config
+        _, speculator = self._units(cfg)
         if isinstance(workload, FcLayerWorkload):
-            return self.speculator.fc_layer(workload.spec, self.reduction)
-        return self.speculator.cnn_layer(
+            return speculator.fc_layer(workload.spec, self.reduction)
+        return speculator.cnn_layer(
             workload.spec, self.reduction, with_reorder=cfg.enable_adaptive_mapping
         )
 
-    def _conv_costs(self, workload: CnnLayerWorkload):
+    def _conv_costs(self, workload: CnnLayerWorkload, cfg: DuetConfig):
         """(exec cycles, executed, dense, util, dram read words, write words).
 
         Off-chip traffic follows the GLB-constrained tiling of
@@ -70,10 +107,11 @@ class CnnPipeline:
         exactly as a real configuration generator would schedule them.
         """
         spec = workload.spec
-        cost = self.executor.cnn_layer(workload)
+        executor, _ = self._units(cfg)
+        cost = executor.cnn_layer(workload)
         # ~10% of the GLB is reserved for Speculator data (QDR weights,
         # switching maps, mapping configuration -- paper Section III-A)
-        usable = int(self.config.glb_bytes * 0.9)
+        usable = int(cfg.glb_bytes * 0.9)
         tiling = choose_tiling(spec, usable)
         return (
             cost.cycles,
@@ -84,10 +122,10 @@ class CnnPipeline:
             tiling.dram_write_words,
         )
 
-    def _fc_costs(self, workload: FcLayerWorkload):
+    def _fc_costs(self, workload: FcLayerWorkload, cfg: DuetConfig):
         """FC layers are weight-row gated like RNN gates (Section VI)."""
-        cfg = self.config
         spec = workload.spec
+        executor, _ = self._units(cfg)
         if cfg.enable_output_switching:
             sensitive = workload.sensitive_count
         else:
@@ -95,7 +133,7 @@ class CnnPipeline:
         nonzeros = None
         if cfg.enable_input_switching and cfg.enable_output_switching:
             nonzeros = int(workload.imap.sum())
-        cost = self.executor.fc_layer(spec, sensitive, input_nonzeros=nonzeros)
+        cost = executor.fc_layer(spec, sensitive, input_nonzeros=nonzeros)
         # only the sensitive rows' weights stream from DRAM
         read_words = spec.in_features + cost.weight_words
         write_words = spec.out_features
@@ -124,12 +162,19 @@ class CnnPipeline:
             A :class:`ModelReport` with per-layer breakdowns.
         """
         cfg = self.config
-        dram = Dram(cfg.dram_bandwidth)
+        ctx = self.reliability
+        dram = ctx.make_dram(cfg.dram_bandwidth) if ctx else Dram(cfg.dram_bandwidth)
         glb = GlobalBuffer(cfg.glb_bytes, cfg.glb_bandwidth)
         report = ModelReport(model.name, cfg)
-        speculation_on = cfg.enable_output_switching
 
         for i, workload in enumerate(workloads):
+            # under a reliability context the layer runs at the current
+            # degradation-ladder rung, and its switching maps go through
+            # the fault injector and the guards first
+            cfg_now = ctx.effective_config(cfg) if ctx else cfg
+            if ctx:
+                workload = ctx.process_cnn_workload(i, workload, cfg_now)
+            speculation_on = cfg_now.enable_output_switching
             spec = workload.spec
             if isinstance(workload, FcLayerWorkload):
                 (
@@ -139,7 +184,7 @@ class CnnPipeline:
                     utilization,
                     read_words,
                     write_words,
-                ) = self._fc_costs(workload)
+                ) = self._fc_costs(workload, cfg_now)
             else:
                 (
                     exec_cycles,
@@ -148,7 +193,7 @@ class CnnPipeline:
                     utilization,
                     read_words,
                     write_words,
-                ) = self._conv_costs(workload)
+                ) = self._conv_costs(workload, cfg_now)
 
             # Speculation task overlapped with this layer: switching maps
             # for layer i+1 (paper Fig. 7); nothing to speculate after the
@@ -157,7 +202,7 @@ class CnnPipeline:
             spec_energy_compute = 0.0
             spec_energy_buffers = 0.0
             if speculation_on and i + 1 < len(workloads):
-                spec_cost = self._speculation_for(workloads[i + 1])
+                spec_cost = self._speculation_for(workloads[i + 1], cfg_now)
                 spec_cycles = spec_cost.cycles
                 spec_energy_compute, spec_energy_buffers = spec_cost.energy(
                     self.energy_model
@@ -174,7 +219,7 @@ class CnnPipeline:
             )  # switching-map bits
             glb.read(glb_words * BYTES_PER_ELEMENT)
 
-            if cfg.enable_pipeline:
+            if cfg_now.enable_pipeline:
                 compute_cycles = max(exec_cycles, spec_cycles)
                 exposed = max(0, spec_cycles - exec_cycles)
             else:
@@ -211,23 +256,34 @@ class CnnPipeline:
                     dram_bytes=dram_bytes,
                 )
             )
+            if ctx:
+                ctx.finalize_layer(spec.name)
+        if ctx:
+            report.reliability = ctx.summary()
         return report
 
 
 class RnnPipeline:
-    """Gate-level pipelined RNN execution (paper Section IV-B)."""
+    """Gate-level pipelined RNN execution (paper Section IV-B).
+
+    Accepts the same optional ``reliability`` context as
+    :class:`CnnPipeline`; faults there target the per-(step, gate)
+    sensitive-row counts the weight fetch is gated by.
+    """
 
     def __init__(
         self,
         config: DuetConfig | None = None,
         energy_model: EnergyModel | None = None,
         reduction: float = 0.125,
+        reliability: "ReliabilityContext | None" = None,
     ):
         self.config = config if config is not None else DuetConfig()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.reduction = reduction
-        self.executor = ExecutorModel(self.config)
-        self.speculator = SpeculatorModel(self.config)
+        self.reliability = reliability
+        self._units = _UnitCache()
+        self.executor, self.speculator = self._units(self.config)
 
     def run(self, model: ModelSpec, workloads: list[RnnLayerWorkload]) -> ModelReport:
         """Simulate the recurrent layers of ``model``.
@@ -237,12 +293,17 @@ class RnnPipeline:
         every time step; fetch overlaps compute via double buffering.
         """
         cfg = self.config
-        dram = Dram(cfg.dram_bandwidth)
+        ctx = self.reliability
+        dram = ctx.make_dram(cfg.dram_bandwidth) if ctx else Dram(cfg.dram_bandwidth)
         glb = GlobalBuffer(cfg.glb_bytes, cfg.glb_bandwidth)
         report = ModelReport(model.name, cfg)
-        switching = cfg.enable_output_switching
 
-        for workload in workloads:
+        for i, workload in enumerate(workloads):
+            cfg_now = ctx.effective_config(cfg) if ctx else cfg
+            if ctx:
+                workload = ctx.process_rnn_workload(i, workload, cfg_now)
+            switching = cfg_now.enable_output_switching
+            executor, speculator = self._units(cfg_now)
             spec = workload.spec
             gate_weights_bytes = (
                 spec.hidden_size
@@ -264,7 +325,7 @@ class RnnPipeline:
             spec_buffer_e = 0.0
 
             if switching:
-                gate_spec_cost = self.speculator.rnn_gate(spec, self.reduction)
+                gate_spec_cost = speculator.rnn_gate(spec, self.reduction)
 
             for t in range(spec.seq_len):
                 for g in range(spec.num_gates):
@@ -273,7 +334,7 @@ class RnnPipeline:
                         if switching
                         else spec.hidden_size
                     )
-                    gate_cost = self.executor.rnn_gate(spec, sensitive)
+                    gate_cost = executor.rnn_gate(spec, sensitive)
                     # weight fetch: only sensitive rows come from DRAM
                     # (plus once-per-layer residency if the GLB could hold
                     # them, which paper-scale layers never satisfy)
@@ -336,4 +397,8 @@ class RnnPipeline:
                     dram_bytes=layer_dram_words * BYTES_PER_ELEMENT,
                 )
             )
+            if ctx:
+                ctx.finalize_layer(spec.name)
+        if ctx:
+            report.reliability = ctx.summary()
         return report

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sim.config import DuetConfig
 from repro.sim.energy import EnergyBreakdown
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.reliability
+    from repro.reliability.report import ReliabilityReport
 
 __all__ = ["LayerReport", "ModelReport"]
 
@@ -54,11 +58,15 @@ class ModelReport:
         model_name: the simulated model.
         config: the hardware/feature configuration used.
         layers: per-layer reports in execution order.
+        reliability: the run's fault/guard/degradation account when the
+            pipeline ran under a :class:`repro.reliability.ReliabilityContext`
+            (None for ordinary runs).
     """
 
     model_name: str
     config: DuetConfig
     layers: list[LayerReport] = field(default_factory=list)
+    reliability: "ReliabilityReport | None" = None
 
     @property
     def total_cycles(self) -> int:

@@ -1,0 +1,62 @@
+"""Tests for the `python -m repro faults` CLI command."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(list(argv), out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestFaultsCommand:
+    def test_smoke_campaign_reports_pass(self):
+        code, out, err = run_cli("faults", "--model", "resnet18")
+        assert code == 0
+        assert err == ""
+        assert "campaign" in out
+        assert "smoke" in out
+        assert "degradation" in out
+        assert "values-never-corrupted invariant: PASS" in out
+
+    def test_no_guards_severe_reports_violation(self):
+        code, out, _ = run_cli(
+            "faults", "--model", "resnet18", "--campaign", "severe",
+            "--no-guards",
+        )
+        assert code == 0  # reporting a violation is not a CLI failure
+        assert "VIOLATED" in out
+        assert "PASS" not in out
+
+    def test_output_is_deterministic(self):
+        a = run_cli("faults", "--model", "alexnet", "--seed", "3")
+        b = run_cli("faults", "--model", "alexnet", "--seed", "3")
+        assert a == b
+
+    def test_stage_flag_starts_lower(self):
+        code, out, _ = run_cli(
+            "faults", "--model", "alexnet", "--stage", "BASE"
+        )
+        assert code == 0
+        assert "BASE" in out
+
+    def test_rnn_model_supported(self):
+        code, out, _ = run_cli("faults", "--model", "lstm")
+        assert code == 0
+        assert "invariant: PASS" in out
+
+    def test_unknown_campaign_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("faults", "--model", "alexnet", "--campaign", "meltdown")
+
+    def test_unknown_model_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("faults", "--model", "resnet999")
+
+    def test_model_is_required(self):
+        with pytest.raises(SystemExit):
+            run_cli("faults")

@@ -26,6 +26,37 @@ class TestDuetConfig:
         with pytest.raises(ValueError, match="positive"):
             DuetConfig(glb_bandwidth=-1)
 
+    def test_error_names_field_and_value(self):
+        """Validation messages say which field broke and what it held."""
+        with pytest.raises(ValueError, match=r"executor_rows.*0"):
+            DuetConfig(executor_rows=0)
+        with pytest.raises(ValueError, match=r"speculator_cols.*-3"):
+            DuetConfig(speculator_cols=-3)
+
+    def test_array_geometry_must_be_power_of_two(self):
+        for field in (
+            "executor_rows",
+            "executor_cols",
+            "speculator_rows",
+            "speculator_cols",
+        ):
+            with pytest.raises(ValueError, match=f"{field}.*power of two"):
+                DuetConfig(**{field: 12})
+        # powers of two build fine at any scale
+        DuetConfig(executor_rows=4, executor_cols=64)
+
+    def test_speculator_must_be_narrower_than_executor(self):
+        with pytest.raises(ValueError, match="speculator_bits"):
+            DuetConfig(speculator_bits=16)  # == executor_bits
+        with pytest.raises(ValueError, match="narrower"):
+            DuetConfig(executor_bits=8, speculator_bits=12)
+        DuetConfig(executor_bits=8, speculator_bits=4)
+
+    def test_glb_must_divide_into_banks(self):
+        with pytest.raises(ValueError, match="glb_bytes"):
+            DuetConfig(glb_bytes=1000, glb_bandwidth=512)
+        DuetConfig(glb_bytes=1024, glb_bandwidth=512)
+
     def test_frozen(self):
         cfg = DuetConfig()
         with pytest.raises(dataclasses.FrozenInstanceError):

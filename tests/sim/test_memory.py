@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.dram import Dram
+from repro.sim.dram import Dram, TransferRetryPolicy
 from repro.sim.glb import GlobalBuffer
 from repro.sim.noc import MulticastNoc
 
@@ -66,6 +66,58 @@ class TestDram:
             Dram(0)
         with pytest.raises(ValueError, match="negative"):
             Dram(16).read(-5)
+
+
+class TestDramRetry:
+    def test_no_fault_model_means_no_retries(self):
+        dram = Dram(32)
+        dram.read(64)
+        assert dram.retries == 0
+        assert dram.failed_transfers == 0
+        assert dram.unrecoverable_transfers == 0
+
+    def test_transient_failure_retries_with_backoff(self):
+        """First attempt fails, second succeeds: one retry, and the cycle
+        count carries the base transfer, the wait, and the re-transfer."""
+        policy = TransferRetryPolicy(max_retries=3, backoff_cycles=8)
+        fails_once = lambda direction, n, attempt: attempt == 0
+        dram = Dram(32, fault_model=fails_once, retry_policy=policy)
+        cycles = dram.read(64)
+        base = 2  # 64 bytes / 32 per cycle
+        assert dram.retries == 1
+        assert dram.failed_transfers == 1
+        assert dram.unrecoverable_transfers == 0
+        assert cycles == base + policy.wait_before(0) + base
+        assert dram.retry_cycles == policy.wait_before(0) + base
+
+    def test_backoff_is_exponential(self):
+        policy = TransferRetryPolicy(max_retries=4, backoff_cycles=8)
+        assert [policy.wait_before(i) for i in range(4)] == [8, 16, 32, 64]
+
+    def test_unrecoverable_after_max_retries(self):
+        policy = TransferRetryPolicy(max_retries=2, backoff_cycles=1)
+        always_fails = lambda direction, n, attempt: True
+        dram = Dram(32, fault_model=always_fails, retry_policy=policy)
+        dram.write(64)
+        assert dram.retries == 2
+        assert dram.failed_transfers == 3  # initial + 2 retries
+        assert dram.unrecoverable_transfers == 1
+
+    def test_demand_traffic_excludes_retries(self):
+        """bytes_read counts what the pipeline asked for, not re-sends."""
+        always_fails = lambda direction, n, attempt: True
+        dram = Dram(32, fault_model=always_fails)
+        dram.read(64)
+        assert dram.bytes_read == 64
+
+    def test_reset_clears_fault_counters(self):
+        fails_once = lambda direction, n, attempt: attempt == 0
+        dram = Dram(32, fault_model=fails_once)
+        dram.read(64)
+        dram.reset()
+        assert dram.retries == 0
+        assert dram.retry_cycles == 0
+        assert dram.failed_transfers == 0
 
 
 class TestMulticastNoc:

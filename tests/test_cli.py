@@ -9,8 +9,14 @@ from repro.cli import main
 
 def run_cli(*argv):
     out = io.StringIO()
-    code = main(list(argv), out=out)
+    code = main(list(argv), out=out, err=io.StringIO())
     return code, out.getvalue()
+
+
+def run_cli_err(*argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(list(argv), out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
 
 
 class TestListModels:
@@ -41,6 +47,13 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             run_cli("simulate", "--model", "bert")
 
+    def test_include_fc_on_rnn_rejected(self):
+        code, out, err = run_cli_err("simulate", "--model", "lstm", "--include-fc")
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error:") and "--include-fc" in err
+        assert err.count("\n") == 1  # one line, no traceback
+
 
 class TestStages:
     def test_breakdown_rows(self):
@@ -58,9 +71,10 @@ class TestCompare:
             assert design in text
 
     def test_rnn_rejected(self):
-        code, text = run_cli("compare", "--model", "lstm")
+        code, out, err = run_cli_err("compare", "--model", "lstm")
         assert code == 2
-        assert "CNN models only" in text
+        assert out == ""
+        assert err.startswith("error:") and "CNN models only" in err
 
 
 class TestArea:
