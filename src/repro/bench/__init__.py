@@ -1,0 +1,33 @@
+"""Unified repro bench harness (``python -m repro bench``).
+
+Times the simulator's vectorized fast path against the per-event slow
+path (the reference oracle) on the paper's experiment suites and writes a
+machine-readable ``BENCH_duet.json`` report.
+
+- :mod:`repro.bench.suites` -- the registry mapping suite names to
+  ``benchmarks/bench_*.py`` files and their simulator-level runners.
+- :mod:`repro.bench.harness` -- discovery, warmup/repeat timing,
+  fast-vs-slow equivalence checking, and JSON emission.
+
+See ``docs/performance.md`` for how to run the harness and read the
+output, and ``docs/benchmarks.md`` for the paper-figure mapping of every
+bench file.
+"""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    discover_bench_files,
+    run_bench,
+    run_suite,
+)
+from repro.bench.suites import SUITES, BenchSuite, suite_names
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSuite",
+    "SUITES",
+    "suite_names",
+    "discover_bench_files",
+    "run_bench",
+    "run_suite",
+]

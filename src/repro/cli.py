@@ -9,6 +9,8 @@ Commands:
 - ``area``                  the Table-I area breakdown.
 - ``faults``                run a fault campaign and print the
   degradation report.
+- ``bench``                 time the fast path against the slow-path
+  oracle and write ``BENCH_duet.json``.
 
 Every command prints a plain-text table; all simulations are seeded and
 deterministic.  Usage errors (unknown model, incompatible flags) exit
@@ -21,6 +23,7 @@ import argparse
 import sys
 
 from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
+from repro.bench import SUITES, run_bench
 from repro.models import MODEL_REGISTRY, get_model_spec
 from repro.reliability import CAMPAIGNS, GuardSettings, run_fault_campaign
 from repro.sim import AreaModel, DuetAccelerator
@@ -81,6 +84,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument(
         "--no-guards", action="store_true",
         help="disable the online guards (show the unprotected failure mode)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the fast path vs the slow-path oracle, write BENCH_duet.json",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="reduced suite subset and model lists (CI-sized)",
+    )
+    p_bench.add_argument(
+        "--suite", action="append", choices=sorted(SUITES), default=None,
+        help="run only the named suite (repeatable)",
+    )
+    p_bench.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed runs per path before timing (default 1)",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed runs per path; the minimum is reported (default 3)",
+    )
+    p_bench.add_argument(
+        "--output", default="BENCH_duet.json",
+        help="result path (default BENCH_duet.json at the repo root)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", dest="list_suites",
+        help="list registered suites and exit",
     )
     return parser
 
@@ -200,6 +232,49 @@ def _cmd_faults(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    if args.list_suites:
+        for name in sorted(SUITES):
+            suite = SUITES[name]
+            marker = "smoke+full" if suite.in_smoke else "full"
+            out.write(
+                f"{name:26s} {suite.figure:14s} [{marker}] {suite.description}\n"
+            )
+        return 0
+    out.write(
+        f"{'suite':>26s} {'fast s':>9s} {'slow s':>9s} {'speedup':>8s} "
+        f"{'equivalence':>13s}\n"
+    )
+
+    def _progress(record):
+        out.write(
+            f"{record['name']:>26s} {record['wall_time_s']['fast']:9.3f} "
+            f"{record['wall_time_s']['slow']:9.3f} "
+            f"{record['speedup_vs_slow_path']:7.1f}x "
+            f"{record['equivalence']:>13s}\n"
+        )
+
+    document = run_bench(
+        suite_names=args.suite,
+        smoke=args.smoke,
+        warmup=args.warmup,
+        repeat=args.repeat,
+        output=args.output,
+        progress=_progress,
+    )
+    geomean = document["geomean_speedup_vs_slow_path"]
+    out.write(
+        f"geomean speedup {geomean:.1f}x over the slow-path oracle; "
+        f"results in {args.output}\n"
+    )
+    if not document["all_equivalent"]:
+        raise CliError(
+            "fast path diverged from the slow-path oracle "
+            "(see the MISMATCH suites above)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "simulate": _cmd_simulate,
@@ -207,6 +282,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "area": _cmd_area,
     "faults": _cmd_faults,
+    "bench": _cmd_bench,
 }
 
 

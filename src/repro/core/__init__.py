@@ -27,6 +27,9 @@ Modules:
   quality budget.
 - :mod:`repro.core.stats`      -- insensitive-region statistics (Fig. 2)
   and savings accounting (Fig. 10).
+- :mod:`repro.core.cache`      -- content-fingerprint memoization of
+  im2col buffers, switching maps and tuned thresholds for the offline
+  calibration sweeps.
 """
 
 from repro.core.approx import (
@@ -34,6 +37,16 @@ from repro.core.approx import (
     ApproximateGRUCell,
     ApproximateLinear,
     ApproximateLSTMCell,
+)
+from repro.core.cache import (
+    array_fingerprint,
+    cache_stats,
+    caches_enabled,
+    clear_caches,
+    im2col_cached,
+    set_cache_enabled,
+    switching_map_cached,
+    tune_threshold_cached,
 )
 from repro.core.distill import distill_linear, distill_conv2d, distill_lstm_cell, distill_gru_cell
 from repro.core.dual import (
@@ -90,4 +103,12 @@ __all__ = [
     "insensitive_fraction",
     "relu_insensitive_fraction",
     "saturation_insensitive_fraction",
+    "array_fingerprint",
+    "im2col_cached",
+    "switching_map_cached",
+    "tune_threshold_cached",
+    "set_cache_enabled",
+    "caches_enabled",
+    "clear_caches",
+    "cache_stats",
 ]

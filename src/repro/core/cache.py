@@ -1,0 +1,249 @@
+"""Memoized buffers for the offline dual-module tooling.
+
+The threshold-tuning flows (:mod:`repro.core.thresholds`,
+:meth:`repro.models.dualize.DualizedCNN.set_thresholds_by_fraction`) sweep
+many candidate operating points over the *same* calibration and evaluation
+batches.  Each sweep step re-runs the im2col lowering, the switching-map
+comparison and the threshold quantile on byte-identical inputs.  All three
+are pure functions of their array contents, so this module memoizes them
+behind content fingerprints:
+
+- :func:`im2col_cached` -- the im2col buffer of a conv input, keyed on the
+  input fingerprint and the conv geometry.
+- :func:`switching_map_cached` -- the OMap of a layer, keyed on
+  ``(layer, fingerprint, threshold)`` (plus activation and guard band).
+- :func:`tune_threshold_cached` -- the tuned quantile threshold, keyed on
+  ``(layer, fingerprint, fraction)``.
+
+Because keys are content fingerprints (BLAKE2b over dtype, shape and raw
+bytes), a hit returns exactly what the underlying function would have
+computed -- caching never changes numerics, it only skips recomputation.
+Cached arrays are stored read-only and shared between hits; callers must
+treat them as immutable (mutation raises ``ValueError``).
+
+Caches are bounded LRU and enabled by default; ``set_cache_enabled(False)``
+restores the uncached behaviour, e.g. for microbenchmarking the raw
+kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+__all__ = [
+    "array_fingerprint",
+    "MemoCache",
+    "im2col_cached",
+    "switching_map_cached",
+    "tune_threshold_cached",
+    "set_cache_enabled",
+    "caches_enabled",
+    "clear_caches",
+    "cache_stats",
+    "IM2COL_CACHE",
+    "SWITCHING_CACHE",
+    "THRESHOLD_CACHE",
+]
+
+
+def array_fingerprint(x: np.ndarray) -> str:
+    """Content fingerprint of an array: BLAKE2b over dtype, shape, bytes.
+
+    Hashing runs at memory bandwidth -- orders of magnitude cheaper than
+    the im2col / quantile / comparison work it stands in for -- and two
+    arrays share a fingerprint iff they are byte-identical with the same
+    dtype and shape.
+    """
+    x = np.ascontiguousarray(x)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(x.dtype).encode())
+    digest.update(repr(x.shape).encode())
+    digest.update(x.view(np.uint8).data if x.size else b"")
+    return digest.hexdigest()
+
+
+class MemoCache:
+    """A bounded LRU memo with hit/miss counters.
+
+    Attributes:
+        name: label used in :func:`cache_stats`.
+        capacity: maximum number of entries; least-recently-used entries
+            are evicted first.
+        hits / misses: lookup counters since the last :meth:`clear`.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """Return the cached value or ``None``; refreshes LRU order."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert a value, evicting the least-recently-used on overflow."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Global caches.  im2col buffers are large (a few MB per calibration
+#: batch), so that cache is kept small; maps and thresholds are tiny.
+IM2COL_CACHE = MemoCache("im2col", capacity=32)
+SWITCHING_CACHE = MemoCache("switching_map", capacity=256)
+THRESHOLD_CACHE = MemoCache("threshold", capacity=4096)
+
+_ALL_CACHES = (IM2COL_CACHE, SWITCHING_CACHE, THRESHOLD_CACHE)
+_enabled = True
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable or disable the memo caches (default: enabled)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def caches_enabled() -> bool:
+    """Whether the memo caches are currently active."""
+    return _enabled
+
+
+def clear_caches() -> None:
+    """Empty every cache and reset its counters."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Per-cache ``{entries, hits, misses}`` snapshot (for diagnostics)."""
+    return {
+        cache.name: {
+            "entries": len(cache),
+            "hits": cache.hits,
+            "misses": cache.misses,
+        }
+        for cache in _ALL_CACHES
+    }
+
+
+def _freeze(x: np.ndarray) -> np.ndarray:
+    """Mark an array read-only so shared cache hits cannot be mutated."""
+    x.flags.writeable = False
+    return x
+
+
+def im2col_cached(
+    x: np.ndarray,
+    kernel_size: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Memoized :func:`repro.nn.functional.im2col`.
+
+    Keyed on the input fingerprint plus the conv geometry; returns a
+    shared read-only ``(N * H' * W', C * kh * kw)`` buffer.
+    """
+    from repro.nn.functional import im2col
+
+    if not _enabled:
+        return im2col(x, kernel_size, stride, padding)
+    key = (array_fingerprint(x), tuple(kernel_size), int(stride), int(padding))
+    cols = IM2COL_CACHE.get(key)
+    if cols is None:
+        cols = _freeze(im2col(x, kernel_size, stride, padding))
+        IM2COL_CACHE.put(key, cols)
+    return cols
+
+
+def switching_map_cached(
+    y_approx: np.ndarray,
+    activation: str,
+    threshold: float,
+    guard_band: float = 0.0,
+    layer: Hashable = None,
+) -> np.ndarray:
+    """Memoized :func:`repro.core.switching.switching_map`.
+
+    Keyed on ``(layer, fingerprint(y_approx), activation, threshold,
+    guard_band)``.  The ``layer`` token only partitions the cache (useful
+    so one layer's sweep cannot evict another's working set); correctness
+    comes from the fingerprint, which fully determines the map.  Returns a
+    shared read-only map.
+    """
+    from repro.core.switching import switching_map
+
+    if not _enabled:
+        return switching_map(y_approx, activation, threshold, guard_band)
+    key = (
+        layer,
+        array_fingerprint(y_approx),
+        activation,
+        float(threshold),
+        float(guard_band),
+    )
+    omap = SWITCHING_CACHE.get(key)
+    if omap is None:
+        omap = _freeze(switching_map(y_approx, activation, threshold, guard_band))
+        SWITCHING_CACHE.put(key, omap)
+    return omap
+
+
+def tune_threshold_cached(
+    approx_pre_activations: np.ndarray,
+    activation: str,
+    target_insensitive_fraction: float,
+    layer: Hashable = None,
+) -> float:
+    """Memoized :func:`repro.core.thresholds.tune_threshold_for_fraction`.
+
+    Keyed on ``(layer, fingerprint(pre-activations), activation,
+    fraction)``; the greedy per-layer allocation in
+    :func:`repro.core.thresholds.allocate_layer_fractions` re-tunes
+    upstream layers with unchanged inputs on every trial, which this
+    turns into dictionary lookups.
+    """
+    from repro.core.thresholds import tune_threshold_for_fraction
+
+    if not _enabled:
+        return tune_threshold_for_fraction(
+            approx_pre_activations, activation, target_insensitive_fraction
+        )
+    key = (
+        layer,
+        array_fingerprint(approx_pre_activations),
+        activation,
+        float(target_insensitive_fraction),
+    )
+    theta = THRESHOLD_CACHE.get(key)
+    if theta is None:
+        theta = tune_threshold_for_fraction(
+            approx_pre_activations, activation, target_insensitive_fraction
+        )
+        THRESHOLD_CACHE.put(key, theta)
+    return theta

@@ -42,6 +42,7 @@ from repro.core.approx import (
     ApproximateLinear,
     ApproximateLSTMCell,
 )
+from repro.core.cache import switching_map_cached
 from repro.core.stats import LayerSavings
 from repro.core.switching import (
     correct_omap_after_relu,
@@ -225,7 +226,11 @@ class DualModuleConv2d:
         receptive = c_in * kh * kw
 
         y_approx = self.approx.forward(x)
-        omap = switching_map(y_approx, "relu", self.threshold)
+        # tuning sweeps re-evaluate the same batch at repeated thresholds;
+        # the map is memoized on (layer, content fingerprint, threshold)
+        omap = switching_map_cached(
+            y_approx, "relu", self.threshold, layer=("conv", id(self.accurate))
+        )
 
         y_acc = self.accurate(x)
         mixed = np.where(omap.astype(bool), y_acc, 0.0)

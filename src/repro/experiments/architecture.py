@@ -118,6 +118,7 @@ class SotaResult:
 def sota_comparison(
     models: tuple[str, ...] = CNN_MODELS,
     sparsity: SparsityModel | None = None,
+    config: DuetConfig | None = None,
 ) -> SotaResult:
     """Fig. 11(b): DUET vs Eyeriss/Cnvlutin/SnaPEA/Predict(+Cnvlutin)."""
     sparsity = sparsity if sparsity is not None else SparsityModel()
@@ -134,9 +135,9 @@ def sota_comparison(
     for name in models:
         spec = get_model_spec(name)
         wl = cnn_workloads(spec, sparsity)
-        duet = DuetAccelerator(stage="DUET", sparsity=sparsity).run(
-            spec, workloads=wl
-        )
+        duet = DuetAccelerator(
+            config=stage_config("DUET", config), sparsity=sparsity
+        ).run(spec, workloads=wl)
         for key, design in designs.items():
             r = design.run(spec, wl)
             acc[key]["latency"].append(r.total_cycles / duet.total_cycles)
@@ -165,6 +166,7 @@ def stage_speedups(
     models: tuple[str, ...] = ("alexnet", "resnet18"),
     sparsity: SparsityModel | None = None,
     skip_first_layer: bool = True,
+    config: DuetConfig | None = None,
 ) -> StageResult:
     """Fig. 12(a): layer-wise OS/BOS/IOS/DUET speedups over BASE.
 
@@ -181,9 +183,9 @@ def stage_speedups(
         spec = get_model_spec(name)
         wl = cnn_workloads(spec, sparsity)
         reports = {
-            stage: DuetAccelerator(stage=stage, sparsity=sparsity).run(
-                spec, workloads=wl
-            )
+            stage: DuetAccelerator(
+                config=stage_config(stage, config), sparsity=sparsity
+            ).run(spec, workloads=wl)
             for stage in STAGES
         }
         base = reports["BASE"]
@@ -201,6 +203,7 @@ def mac_utilization(
     models: tuple[str, ...] = ("alexnet", "vgg16"),
     sparsity: SparsityModel | None = None,
     skip_first_layer: bool = True,
+    config: DuetConfig | None = None,
 ) -> StageResult:
     """Fig. 12(b): layer-wise Executor MAC utilisation per stage."""
     sparsity = sparsity if sparsity is not None else SparsityModel()
@@ -211,9 +214,9 @@ def mac_utilization(
         spec = get_model_spec(name)
         wl = cnn_workloads(spec, sparsity)
         for stage in stages:
-            r = DuetAccelerator(stage=stage, sparsity=sparsity).run(
-                spec, workloads=wl
-            )
+            r = DuetAccelerator(
+                config=stage_config(stage, config), sparsity=sparsity
+            ).run(spec, workloads=wl)
             per_stage[stage].extend(l.utilization for l in r.layers[start:])
     return StageResult(per_stage)
 
@@ -241,6 +244,7 @@ class BreakdownResult:
 def rnn_memory_latency(
     models: tuple[str, ...] = ("lstm", "gru", "gnmt"),
     sparsity: SparsityModel | None = None,
+    config: DuetConfig | None = None,
 ) -> BreakdownResult:
     """Fig. 12(d): memory vs compute latency, BASE vs DUET."""
     sparsity = sparsity if sparsity is not None else SparsityModel()
@@ -248,12 +252,12 @@ def rnn_memory_latency(
     for name in models:
         spec = get_model_spec(name)
         wl = rnn_workloads(spec, sparsity)
-        base = DuetAccelerator(stage="BASE", sparsity=sparsity).run(
-            spec, workloads=wl
-        )
-        duet = DuetAccelerator(stage="DUET", sparsity=sparsity).run(
-            spec, workloads=wl
-        )
+        base = DuetAccelerator(
+            config=stage_config("BASE", config), sparsity=sparsity
+        ).run(spec, workloads=wl)
+        duet = DuetAccelerator(
+            config=stage_config("DUET", config), sparsity=sparsity
+        ).run(spec, workloads=wl)
         result.memory_compute[name] = (
             base.memory_cycles / 1e6,
             base.compute_cycles / 1e6,
@@ -267,14 +271,19 @@ def rnn_memory_latency(
 def energy_breakdowns(
     models: tuple[str, ...] = ("alexnet", "resnet18", "lstm", "gru"),
     sparsity: SparsityModel | None = None,
+    config: DuetConfig | None = None,
 ) -> BreakdownResult:
     """Fig. 12(e)/(f): component energy for BASE and DUET."""
     sparsity = sparsity if sparsity is not None else SparsityModel()
     result = BreakdownResult()
     for name in models:
         spec = get_model_spec(name)
-        base = DuetAccelerator(stage="BASE", sparsity=sparsity).run(spec)
-        duet = DuetAccelerator(stage="DUET", sparsity=sparsity).run(spec)
+        base = DuetAccelerator(
+            config=stage_config("BASE", config), sparsity=sparsity
+        ).run(spec)
+        duet = DuetAccelerator(
+            config=stage_config("DUET", config), sparsity=sparsity
+        ).run(spec)
         result.energy[name] = (base.energy, duet.energy)
     return result
 
@@ -298,12 +307,14 @@ def speculator_size_dse(
     sizes: tuple[tuple[int, int], ...] = ((8, 8), (8, 16), (16, 16), (16, 32), (32, 32)),
     models: tuple[str, ...] = ("alexnet", "resnet18"),
     sparsity: SparsityModel | None = None,
+    config: DuetConfig | None = None,
 ) -> DseResult:
     """Fig. 13(a): speedup vs Speculator systolic-array size."""
     sparsity = sparsity if sparsity is not None else SparsityModel()
+    base_cfg = config if config is not None else DuetConfig()
     speedups = {}
     for rows, cols in sizes:
-        cfg = stage_config("DUET", DuetConfig().scaled_speculator(rows, cols))
+        cfg = stage_config("DUET", base_cfg.scaled_speculator(rows, cols))
         values = []
         for name in models:
             spec = get_model_spec(name)
@@ -311,9 +322,9 @@ def speculator_size_dse(
             duet = DuetAccelerator(config=cfg, sparsity=sparsity).run(
                 spec, workloads=wl
             )
-            base = DuetAccelerator(stage="BASE", sparsity=sparsity).run(
-                spec, workloads=wl
-            )
+            base = DuetAccelerator(
+                config=stage_config("BASE", base_cfg), sparsity=sparsity
+            ).run(spec, workloads=wl)
             values.append(duet.speedup_over(base))
         speedups[(rows, cols)] = _geomean(values)
     return DseResult(speedups)

@@ -36,8 +36,8 @@ from repro.core.dual import (
     DualModuleLSTMCell,
 )
 from repro.core.stats import LayerSavings
+from repro.core.cache import tune_threshold_cached
 from repro.core.switching import imap_from_activations
-from repro.core.thresholds import tune_threshold_for_fraction
 from repro.models.proxies import ProxyCNN, ProxyLanguageModel, ProxySeq2Seq
 from repro.nn.layers import Conv2d, MaxPool2d, AvgPool2d, ReLU
 from repro.nn.losses import CrossEntropyLoss, perplexity, topk_accuracy
@@ -173,8 +173,11 @@ class DualizedCNN:
             slot = self._slot_by_index.get(index)
             if slot is not None:
                 y_approx = slot.dual.approx.forward(x)
-                theta = tune_threshold_for_fraction(
-                    y_approx, "relu", fractions[slot_counter]
+                theta = tune_threshold_cached(
+                    y_approx,
+                    "relu",
+                    fractions[slot_counter],
+                    layer=("conv", slot.index),
                 )
                 slot.dual.threshold = theta
                 thetas.append(theta)
@@ -308,7 +311,7 @@ class DualizedLanguageModel:
         to the matching quantile of ``|y'|``.
         """
         xs = self.model.embedding(np.asarray(calibration_tokens))
-        for dual in self.dual_cells:
+        for layer_idx, dual in enumerate(self.dual_cells):
             hs = dual.accurate.hidden_size
             gate_pre: dict[str, list[np.ndarray]] = {g: [] for g, _ in dual.GATES}
             state = _init_state(dual, xs.shape[1])
@@ -323,8 +326,8 @@ class DualizedLanguageModel:
                 outputs[t] = state[0] if isinstance(state, tuple) else state
             for gate, act_name in dual.GATES:
                 stacked = np.concatenate(gate_pre[gate])
-                dual.thresholds[gate] = tune_threshold_for_fraction(
-                    stacked, act_name, fraction
+                dual.thresholds[gate] = tune_threshold_cached(
+                    stacked, act_name, fraction, layer=("rnn", layer_idx, gate)
                 )
             xs = outputs
 
@@ -430,8 +433,11 @@ class DualizedSeq2Seq:
                     gate_pre[gate].append(pre[:, idx * hs : (idx + 1) * hs])
                 state, _ = dual.accurate(xs[t], state)
             for gate, act_name in dual.GATES:
-                dual.thresholds[gate] = tune_threshold_for_fraction(
-                    np.concatenate(gate_pre[gate]), act_name, fraction
+                dual.thresholds[gate] = tune_threshold_cached(
+                    np.concatenate(gate_pre[gate]),
+                    act_name,
+                    fraction,
+                    layer=("seq2seq", id(dual), gate),
                 )
 
     def greedy_decode(

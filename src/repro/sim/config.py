@@ -51,6 +51,15 @@ class DuetConfig:
             workloads ... within several tiles" (Section IV-A), so the
             channel grouping is fixed across the window and within-window
             tile variance remains unbalanced.
+        fast_path: use the vectorized/memoized simulator kernels (batched
+            tile aggregation, analytic uniform-layer shortcuts, cached
+            tiling/speculation costs).  The fast path is *exact*: it
+            produces bit-identical :class:`~repro.sim.report.ModelReport`
+            cycle/energy counters to the reference implementation
+            (``fast_path=False``), which is kept as the oracle the
+            equivalence suite (``tests/sim/test_fast_path.py``) and the
+            ``repro bench`` harness check against.  See
+            ``docs/performance.md``.
         enable_output_switching: skip Executor MACs using the OMap.
         enable_input_switching: additionally skip zero-input MACs (IMap).
         enable_adaptive_mapping: balance PE rows via the Reorder Unit.
@@ -79,6 +88,7 @@ class DuetConfig:
     enable_input_switching: bool = True
     enable_adaptive_mapping: bool = True
     enable_pipeline: bool = True
+    fast_path: bool = True
 
     def __post_init__(self):
         for name in (

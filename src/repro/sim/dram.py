@@ -130,6 +130,32 @@ class Dram:
         self.bytes_read += num_bytes
         return cycles
 
+    def read_bulk(self, byte_counts):
+        """Vectorised :meth:`read` over an integer array of transfer sizes.
+
+        Fast-path helper: records every entry as one demand read and
+        returns the per-entry cycle counts -- identical counters and
+        cycles to calling :meth:`read` element by element, without the
+        per-event Python overhead.  Only valid without a fault model;
+        flaky channels must take the per-transfer path so retry and
+        backoff semantics apply.
+
+        Args:
+            byte_counts: non-negative integer array (numpy).
+
+        Returns:
+            Integer array of interface cycles, same shape.
+        """
+        if self.fault_model is not None:
+            raise RuntimeError(
+                "read_bulk bypasses retry handling; use read() when a "
+                "fault model is attached"
+            )
+        if byte_counts.size and int(byte_counts.min()) < 0:
+            raise ValueError("negative byte count")
+        self.bytes_read += int(byte_counts.sum())
+        return -(-byte_counts // self.bandwidth)
+
     def write(self, num_bytes: int) -> int:
         """Record a write; returns the cycles it occupies the interface."""
         cycles = self._transfer(num_bytes, "write")

@@ -74,7 +74,19 @@ class ExecutorModel:
         per-PE slice of nonzero inputs (IOS -- the within-row imbalance of
         Section IV-A).  Adaptive mapping reorders the channel sequence by
         the Reorder Unit's switching-index sums.
+
+        With ``config.fast_path`` (the default) the batched/memoized
+        kernels of :class:`~repro.workloads.sparsity.CnnLayerWorkload`
+        supply the per-tile aggregates and the finished cost is cached on
+        the workload; the result is bit-identical to the reference path
+        (``fast_path=False``), which is kept as the oracle.
         """
+        if self.config.fast_path:
+            return self._cnn_layer_fast(workload)
+        return self._cnn_layer_reference(workload)
+
+    def _cnn_layer_reference(self, workload: CnnLayerWorkload) -> CnnExecutionCost:
+        """Reference (oracle) implementation of :meth:`cnn_layer`."""
         cfg = self.config
         spec = workload.spec
         out_sw = cfg.enable_output_switching
@@ -134,6 +146,109 @@ class ExecutorModel:
             utilization=utilization,
             schedule=schedule,
         )
+
+    def _cnn_layer_fast(self, workload: CnnLayerWorkload) -> CnnExecutionCost:
+        """Vectorized :meth:`cnn_layer`, bit-identical to the reference.
+
+        Three things make it fast without changing a single counter:
+
+        - the per-(channel, tile) aggregates come from the workload's
+          batched einsum kernels instead of a materialised
+          ``(C_out, positions)`` int64 intermediate;
+        - the no-switching (BASE) case collapses analytically: every
+          channel row costs the same, so the step maxima are the uniform
+          tile totals and ``cycles = ceil(C/rows) * positions *
+          ceil(R/cols)`` exactly;
+        - the finished :class:`CnnExecutionCost` is memoized on the
+          workload keyed by every config knob it depends on, so stage
+          sweeps and repeated runs over shared workloads pay once.
+
+        The returned cost object is shared between callers; treat it as
+        immutable.
+        """
+        cfg = self.config
+        spec = workload.spec
+        out_sw = cfg.enable_output_switching
+        in_sw = cfg.enable_input_switching and out_sw
+        adaptive = cfg.enable_adaptive_mapping and out_sw
+        rows = cfg.executor_rows
+        key = (
+            "cnn_cost",
+            rows,
+            cfg.executor_cols,
+            cfg.executor_step_positions,
+            cfg.reorder_buckets,
+            cfg.reorder_window_tiles,
+            out_sw,
+            in_sw,
+            adaptive,
+        )
+        cached = workload._slice_cache.get(key)
+        if cached is not None:
+            return cached
+
+        if not out_sw:
+            # uniform layer: every channel row has identical per-tile cost,
+            # so each step's max equals that cost and the sum telescopes
+            positions = spec.out_h * spec.out_w
+            dense_cycles = -(-spec.receptive_field // cfg.executor_cols)
+            num_groups = -(-spec.out_channels // rows)
+            cycles = num_groups * positions * dense_cycles
+            schedule = naive_schedule(spec.out_channels, rows)
+        else:
+            tile_cycles = workload.channel_tile_cycles_fast(
+                cfg.executor_cols, out_sw, in_sw, cfg.executor_step_positions
+            )
+            if adaptive:
+                tile_counts = workload.channel_tile_switch_counts_fast(
+                    cfg.executor_step_positions
+                )
+                # identical arithmetic to the reference adaptive block; the
+                # int64 window sums are exact, so the float64 conversion,
+                # bucketing and stable argsort reproduce the same order
+                counts = tile_counts.astype(np.float64)
+                num_tiles = counts.shape[1]
+                window = cfg.reorder_window_tiles
+                num_windows = -(-num_tiles // window)
+                pad_t = num_windows * window - num_tiles
+                if pad_t:
+                    counts = np.pad(counts, ((0, 0), (0, pad_t)))
+                window_counts = counts.reshape(-1, num_windows, window).sum(axis=2)
+                hi = window_counts.max()
+                if hi > 0 and cfg.reorder_buckets:
+                    edges = np.linspace(0.0, hi, cfg.reorder_buckets + 1)[1:-1]
+                    window_counts = np.searchsorted(edges, window_counts).astype(
+                        np.float64
+                    )
+                window_order = np.argsort(-window_counts, axis=0, kind="stable")
+                order = np.repeat(window_order, window, axis=1)[:, :num_tiles]
+                ordered = np.take_along_axis(tile_cycles, order, axis=0)
+                schedule = adaptive_schedule(
+                    tile_counts.sum(axis=1),
+                    rows,
+                    buckets=cfg.reorder_buckets,
+                )
+            else:
+                ordered = tile_cycles
+                schedule = naive_schedule(spec.out_channels, rows)
+            num_channels = ordered.shape[0]
+            pad = (-num_channels) % rows
+            if pad:
+                ordered = np.pad(ordered, ((0, pad), (0, 0)))
+            grouped = ordered.reshape(-1, rows, ordered.shape[1])
+            cycles = int(grouped.max(axis=1).sum())
+        executed = workload.executed_macs_total(out_sw, in_sw)
+        capacity = float(cycles) * cfg.executor_rows * cfg.executor_cols
+        utilization = executed / capacity if capacity > 0 else 1.0
+        cost = CnnExecutionCost(
+            cycles=cycles,
+            executed_macs=executed,
+            dense_macs=spec.macs,
+            utilization=utilization,
+            schedule=schedule,
+        )
+        workload._slice_cache[key] = cost
+        return cost
 
     def fc_layer(self, spec, sensitive_rows: int, input_nonzeros: int | None = None):
         """Execute one FC layer's sparse GEMV (one input vector).

@@ -173,6 +173,24 @@ class FunctionalExecutorArray:
             for pe in pe_row:
                 pe.reset()
 
+        if cfg.fast_path and not stuck:
+            # batched execution: identical cycle/MAC/NoC accounting (all
+            # counters are linear sums of per-event integers), output via
+            # one matmul (equal to the per-MAC accumulation within float
+            # tolerance).  Fault injection keeps the per-event path: stuck
+            # rows interleave with delivery and accumulation order.
+            return self._run_conv_fast(
+                cols_mat,
+                mask_mat,
+                flat_weights,
+                flat_omap,
+                schedule,
+                receptive,
+                slice_len,
+                out_h,
+                out_w,
+            )
+
         for group in schedule:
             # weights multicast: each row receives its channel's filter
             self.noc.deliver(
@@ -225,5 +243,95 @@ class FunctionalExecutorArray:
             row_cycles=row_cycles,
             macs_executed=executed,
             macs_skipped=skipped,
+            noc=self.noc,
+        )
+
+    def _run_conv_fast(
+        self,
+        cols_mat: np.ndarray,
+        mask_mat: np.ndarray,
+        flat_weights: np.ndarray,
+        flat_omap: np.ndarray,
+        schedule: list[list[int]],
+        receptive: int,
+        slice_len: int,
+        out_h: int,
+        out_w: int,
+    ) -> FunctionalRunResult:
+        """Vectorized fault-free execution (see :meth:`run_conv`).
+
+        Cycle, MAC and NoC counters are bit-identical to the per-event
+        loop: every reference counter is a sum of per-(position, slice)
+        integers, aggregated here with int64 reductions, and the NoC's
+        :class:`~repro.sim.noc.DeliveryStats` are linear in ``num_words``
+        so per-position deliveries collapse into one call per (group,
+        row).  Output values come from a single matmul over the masked
+        receptive-field columns -- the same products in a different
+        summation order, so they match the reference to float64 rounding
+        (tests compare with ``allclose``; insensitive outputs stay exactly
+        zero either way).
+        """
+        cfg = self.config
+        rows, cols = cfg.executor_rows, cfg.executor_cols
+        c_out = flat_weights.shape[0]
+        positions = cols_mat.shape[0]
+
+        # per-(position, PE-slice) live-MAC counts; slices beyond the
+        # receptive field never execute (the reference loop breaks early)
+        n_slices = -(-receptive // slice_len)
+        pad = n_slices * slice_len - receptive
+        mask_i = mask_mat.astype(np.int64)
+        if pad:
+            mask_i = np.pad(mask_i, ((0, 0), (0, pad)))
+        slice_costs = mask_i.reshape(positions, n_slices, slice_len).sum(axis=2)
+        pos_max = slice_costs.max(axis=1) if n_slices else np.zeros(
+            positions, dtype=np.int64
+        )
+        slice_lens = np.minimum(
+            receptive, (np.arange(n_slices) + 1) * slice_len
+        ) - np.arange(n_slices) * slice_len
+
+        omap_i = flat_omap.astype(np.int64)
+        # per-channel aggregates over the channel's live positions
+        chan_step_cycles = omap_i @ pos_max  # busiest-PE cycles per step
+        chan_slice_execs = omap_i @ slice_costs  # (C, n_slices) live MACs
+        live_counts = omap_i.sum(axis=1)
+        dead_counts = positions - live_counts
+
+        exec_rc = np.zeros((rows, cols), dtype=np.int64)
+        skip_rc = np.zeros((rows, cols), dtype=np.int64)
+        row_cycles = np.zeros(rows, dtype=np.int64)
+        total_cycles = 0
+        all_cols = set(range(cols))
+        for group in schedule:
+            self.noc.deliver(receptive, set(range(len(group))), all_cols)
+            step_max = 0
+            for slot, channel in enumerate(group):
+                live = int(live_counts[channel])
+                # one ifmap broadcast per live position, all to this row
+                self.noc.deliver(receptive * live, {slot}, all_cols)
+                exec_rc[slot, :n_slices] += chan_slice_execs[channel]
+                skip_rc[slot, :n_slices] += (
+                    live * slice_lens - chan_slice_execs[channel]
+                )
+                # insensitive positions charge slice_len skips to every PE
+                skip_rc[slot, :] += int(dead_counts[channel]) * slice_len
+                step = int(chan_step_cycles[channel])
+                row_cycles[slot] += step
+                step_max = max(step_max, step)
+            total_cycles += step_max if len(group) else 0
+        for r, pe_row in enumerate(self.pes):
+            for j, pe in enumerate(pe_row):
+                pe.cycles += int(exec_rc[r, j])
+                pe.macs_executed += int(exec_rc[r, j])
+                pe.macs_skipped += int(skip_rc[r, j])
+
+        output = np.where(flat_omap, flat_weights @ cols_mat.T, 0.0)
+        return FunctionalRunResult(
+            output=output.reshape(c_out, out_h, out_w),
+            total_cycles=total_cycles,
+            row_cycles=row_cycles,
+            macs_executed=int(exec_rc.sum()),
+            macs_skipped=int(skip_rc.sum()),
             noc=self.noc,
         )

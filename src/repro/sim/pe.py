@@ -20,7 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MacInstruction", "generate_tile_instructions", "tag_instructions", "PE"]
+__all__ = [
+    "MacInstruction",
+    "generate_tile_instructions",
+    "tag_instructions",
+    "tag_instructions_reference",
+    "PE",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +100,30 @@ def tag_instructions(
         Boolean array of tags aligned with ``instructions``.
     """
     omap_tile = np.asarray(omap_tile).reshape(-1).astype(bool)
+    count = len(instructions)
+    oa = np.fromiter((inst.oa for inst in instructions), dtype=np.intp, count=count)
+    tags = omap_tile[oa]
+    if imap_tile is not None:
+        imap_tile = np.asarray(imap_tile).reshape(-1).astype(bool)
+        ia = np.fromiter(
+            (inst.ia for inst in instructions), dtype=np.intp, count=count
+        )
+        tags &= imap_tile[ia]
+    return tags
+
+
+def tag_instructions_reference(
+    instructions: list[MacInstruction],
+    omap_tile: np.ndarray,
+    imap_tile: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-instruction reference of :func:`tag_instructions` (the oracle).
+
+    Walks the schedule one instruction at a time, exactly as the per-PE
+    control logic would; kept so the equivalence suite can check the
+    vectorized tagging bit for bit.
+    """
+    omap_tile = np.asarray(omap_tile).reshape(-1).astype(bool)
     tags = np.empty(len(instructions), dtype=bool)
     if imap_tile is not None:
         imap_tile = np.asarray(imap_tile).reshape(-1).astype(bool)
@@ -146,6 +176,46 @@ class PE:
         self, instructions: list[MacInstruction], tags: np.ndarray
     ) -> np.ndarray:
         """Execute the tagged schedule; returns the psum buffer.
+
+        Vectorized: live products accumulate into psum bins with
+        ``np.bincount``, whose per-bin accumulation follows instruction
+        order, so the result matches :meth:`run_reference` bit for bit
+        when the psums start from zero (the :meth:`load_tile` contract).
+
+        Raises:
+            ValueError: if ``tags`` and ``instructions`` lengths differ.
+        """
+        tags = np.asarray(tags, dtype=bool)
+        if tags.shape[0] != len(instructions):
+            raise ValueError(
+                f"{len(instructions)} instructions but {tags.shape[0]} tags"
+            )
+        live = np.flatnonzero(tags)
+        n_live = int(live.size)
+        self.macs_skipped += len(instructions) - n_live
+        if n_live:
+            count = len(instructions)
+            ia = np.fromiter(
+                (inst.ia for inst in instructions), dtype=np.intp, count=count
+            )[live]
+            w = np.fromiter(
+                (inst.w for inst in instructions), dtype=np.intp, count=count
+            )[live]
+            oa = np.fromiter(
+                (inst.oa for inst in instructions), dtype=np.intp, count=count
+            )[live]
+            products = self.input_buffer[ia] * self.weight_buffer[w]
+            self.psum_buffer += np.bincount(
+                oa, weights=products, minlength=self.psum_buffer.shape[0]
+            )
+            self.cycles += n_live
+            self.macs_executed += n_live
+        return self.psum_buffer.copy()
+
+    def run_reference(
+        self, instructions: list[MacInstruction], tags: np.ndarray
+    ) -> np.ndarray:
+        """Event-at-a-time reference of :meth:`run` (the oracle).
 
         Raises:
             ValueError: if ``tags`` and ``instructions`` lengths differ.

@@ -15,7 +15,10 @@ Implements paper Section IV:
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.models.layer_spec import BYTES_PER_ELEMENT, ModelSpec
 from repro.sim.config import DuetConfig
@@ -25,7 +28,7 @@ from repro.sim.executor import ExecutorModel
 from repro.sim.glb import GlobalBuffer
 from repro.sim.report import LayerReport, ModelReport
 from repro.sim.speculator import SpeculatorModel
-from repro.sim.tiling import choose_tiling
+from repro.sim.tiling import choose_tiling, choose_tiling_cached
 from repro.workloads.sparsity import (
     CnnLayerWorkload,
     FcLayerWorkload,
@@ -112,7 +115,10 @@ class CnnPipeline:
         # ~10% of the GLB is reserved for Speculator data (QDR weights,
         # switching maps, mapping configuration -- paper Section III-A)
         usable = int(cfg.glb_bytes * 0.9)
-        tiling = choose_tiling(spec, usable)
+        if cfg.fast_path:
+            tiling = choose_tiling_cached(spec, usable)
+        else:
+            tiling = choose_tiling(spec, usable)
         return (
             cost.cycles,
             cost.executed_macs,
@@ -327,7 +333,68 @@ class RnnPipeline:
             if switching:
                 gate_spec_cost = speculator.rnn_gate(spec, self.reduction)
 
-            for t in range(spec.seq_len):
+            if cfg_now.fast_path and ctx is None:
+                # -- fast path: batch the whole (time step, gate) grid ----
+                # Every per-gate quantity in the reference loop is an
+                # integer and every accumulator adds integers, so the
+                # batched int64 reductions below reproduce the loop bit
+                # for bit.  Reliability contexts keep the per-event path:
+                # DRAM fault models act on individual transfers.
+                rows = cfg_now.executor_rows
+                row_len = spec.input_size + spec.hidden_size
+                wave_cycles = math.ceil(
+                    row_len / cfg_now.executor_cols
+                ) + math.ceil(math.log2(max(2, cfg_now.executor_cols)))
+                if switching:
+                    counts = workload.sensitive_counts.astype(np.int64)
+                else:
+                    counts = np.full(
+                        (spec.seq_len, spec.num_gates),
+                        spec.hidden_size,
+                        dtype=np.int64,
+                    )
+                waves = -(-counts // rows)
+                compute = waves * wave_cycles
+                executed = counts * row_len
+                fetch_words = executed.copy()
+                if weights_resident:
+                    fetch_words[1:, :] = 0
+                fetch_cycles = dram.read_bulk(fetch_words * BYTES_PER_ELEMENT)
+                glb.write(int(fetch_words.sum()) * BYTES_PER_ELEMENT)
+                glb.read(int(executed.sum()) * BYTES_PER_ELEMENT)
+                compute_cycles = compute.copy()
+                if switching:
+                    gate_cycles = gate_spec_cost.cycles
+                    layer_spec_cycles = (
+                        spec.seq_len * spec.num_gates * gate_cycles
+                    )
+                    # only the input gate's speculation is exposed
+                    layer_exposed = spec.seq_len * gate_cycles
+                    compute_cycles[:, 0] += gate_cycles
+                    compute_e, buffer_e = gate_spec_cost.energy(
+                        self.energy_model
+                    )
+                    # replicate the reference's repeated float additions
+                    # exactly (a single multiply would round differently)
+                    for _ in range(spec.seq_len * spec.num_gates):
+                        spec_compute_e += compute_e
+                        spec_buffer_e += buffer_e
+                layer_exec_cycles = int(compute.sum())
+                layer_memory_cycles = int(fetch_cycles.sum())
+                layer_compute_cycles = int(compute_cycles.sum())
+                layer_total = int(
+                    np.maximum(compute_cycles, fetch_cycles).sum()
+                )
+                layer_executed = int(executed.sum())
+                layer_dense = (
+                    spec.seq_len * spec.num_gates * spec.hidden_size * row_len
+                )
+                layer_dram_words = int(fetch_words.sum())
+                steps = ()
+            else:
+                steps = range(spec.seq_len)
+
+            for t in steps:
                 for g in range(spec.num_gates):
                     sensitive = (
                         int(workload.sensitive_counts[t, g])

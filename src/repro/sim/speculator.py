@@ -83,6 +83,12 @@ class SpeculatorModel:
 
     def __init__(self, config: DuetConfig | None = None):
         self.config = config if config is not None else DuetConfig()
+        # fast-path memo: the cost methods are pure in (spec, reduction,
+        # flags) for a fixed config, and layer specs are frozen dataclasses,
+        # so repeated speculation of the same layer (every image, every
+        # time step) can reuse the finished SpeculationCost.  Shared cost
+        # objects must be treated as immutable by callers.
+        self._memo: dict[tuple, SpeculationCost] = {}
 
     # -- functional switching-map hook --------------------------------------
 
@@ -129,6 +135,11 @@ class SpeculatorModel:
             reduction: reduced-dimension ratio ``k / (C_in * k_h * k_w)``.
             with_reorder: include the adaptive-mapping Reorder Unit pass.
         """
+        memo_key = ("cnn", spec, reduction, with_reorder)
+        if self.config.fast_path:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                return cached
         cfg = self.config
         k = max(1, math.ceil(reduction * spec.receptive_field))
         positions = spec.out_h * spec.out_w
@@ -155,7 +166,7 @@ class SpeculatorModel:
         cycles = max(stage.values()) + fill
         qdr_weight_reads = k * spec.out_channels
         buffer_accesses = 2 * positions * k  # QDR input write + read
-        return SpeculationCost(
+        cost = SpeculationCost(
             cycles=cycles,
             stage_cycles=stage,
             int4_macs=int4_macs,
@@ -166,6 +177,9 @@ class SpeculatorModel:
             qdr_weight_reads=qdr_weight_reads,
             buffer_accesses=buffer_accesses,
         )
+        if self.config.fast_path:
+            self._memo[memo_key] = cost
+        return cost
 
     # -- FC ----------------------------------------------------------------
 
@@ -176,6 +190,11 @@ class SpeculatorModel:
         insensitive outputs) and no Reorder Unit (row mapping has no
         channel imbalance).
         """
+        memo_key = ("fc", spec, reduction)
+        if self.config.fast_path:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                return cached
         cfg = self.config
         k = max(1, math.ceil(reduction * spec.in_features))
         n = spec.out_features
@@ -192,7 +211,7 @@ class SpeculatorModel:
             "reorder": 0,
         }
         fill = cfg.speculator_rows + cfg.speculator_cols
-        return SpeculationCost(
+        cost = SpeculationCost(
             cycles=max(stage.values()) + fill,
             stage_cycles=stage,
             int4_macs=int4_macs,
@@ -203,6 +222,9 @@ class SpeculatorModel:
             qdr_weight_reads=n * k,
             buffer_accesses=2 * k,
         )
+        if self.config.fast_path:
+            self._memo[memo_key] = cost
+        return cost
 
     # -- RNN ---------------------------------------------------------------
 
@@ -213,6 +235,11 @@ class SpeculatorModel:
         insensitive neurons are converted back to 16-bit and stored to the
         GLB (paper Section III-B, Step 4).
         """
+        memo_key = ("rnn", spec, reduction)
+        if self.config.fast_path:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                return cached
         cfg = self.config
         kx = max(1, math.ceil(reduction * spec.input_size))
         kh = max(1, math.ceil(reduction * spec.hidden_size))
@@ -236,7 +263,7 @@ class SpeculatorModel:
         cycles = max(stage.values()) + fill
         qdr_weight_reads = h * (kx + kh)
         buffer_accesses = 2 * (kx + kh) + h  # QDR input r/w + approx store
-        return SpeculationCost(
+        cost = SpeculationCost(
             cycles=cycles,
             stage_cycles=stage,
             int4_macs=int4_macs,
@@ -247,3 +274,6 @@ class SpeculatorModel:
             qdr_weight_reads=qdr_weight_reads,
             buffer_accesses=buffer_accesses,
         )
+        if self.config.fast_path:
+            self._memo[memo_key] = cost
+        return cost

@@ -28,10 +28,16 @@ which is how real configuration generators sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.models.layer_spec import BYTES_PER_ELEMENT, ConvSpec
 
-__all__ = ["TilingChoice", "choose_tiling", "candidate_tiles"]
+__all__ = [
+    "TilingChoice",
+    "choose_tiling",
+    "choose_tiling_cached",
+    "candidate_tiles",
+]
 
 
 @dataclass(frozen=True)
@@ -139,3 +145,16 @@ def choose_tiling(spec: ConvSpec, glb_bytes: int) -> TilingChoice:
     result = best if best is not None else fallback
     assert result is not None
     return result
+
+
+@lru_cache(maxsize=4096)
+def choose_tiling_cached(spec: ConvSpec, glb_bytes: int) -> TilingChoice:
+    """Memoized :func:`choose_tiling` (the ``fast_path`` entry point).
+
+    The tiling search sweeps ``O(log C_out * log C_in)`` candidate points
+    per call; a model sweep re-asks for the same ``(spec, glb_bytes)``
+    dozens of times (every stage, every repeat).  ``ConvSpec`` is a frozen
+    dataclass, so the pair is hashable and the search result -- itself a
+    frozen :class:`TilingChoice` -- can be shared safely.
+    """
+    return choose_tiling(spec, glb_bytes)

@@ -177,6 +177,123 @@ class CnnLayerWorkload:
             axis=2
         )
 
+    # -- vectorized fast-path kernels ---------------------------------------
+    #
+    # The methods below compute exactly the same integers as their
+    # reference counterparts (``channel_tile_cycles``,
+    # ``channel_tile_switch_counts``, ``int(channel_macs(...).sum())``) but
+    # avoid materializing the (C_out, positions) int64 intermediate: the
+    # OMap stays uint8 and the per-tile aggregation runs as one batched
+    # einsum contraction over the tile axis.  Results are memoized on the
+    # workload (the maps are immutable inputs to a simulation run), so a
+    # DUET-vs-BASE sweep or a repeated benchmark pays for each kernel once.
+    # All arithmetic is integer, hence bit-identical to the reference.
+
+    def _padded_tiles(self, tile_positions: int) -> np.ndarray:
+        """OMap as uint8 tiles ``(C_out, S, tile_positions)`` (zero-padded)."""
+        key = ("omap_tiles", tile_positions)
+        if key not in self._slice_cache:
+            flat = self.omap.reshape(self.spec.out_channels, -1)
+            if flat.dtype != np.uint8:
+                flat = flat.astype(np.uint8)
+            positions = flat.shape[1]
+            num_tiles = -(-positions // tile_positions)
+            pad = num_tiles * tile_positions - positions
+            if pad:
+                flat = np.pad(flat, ((0, 0), (0, pad)))
+            self._slice_cache[key] = flat.reshape(
+                self.spec.out_channels, num_tiles, tile_positions
+            )
+        return self._slice_cache[key]
+
+    @property
+    def sensitive_total(self) -> int:
+        """Total sensitive outputs, ``int(omap.sum())`` (memoized)."""
+        key = ("sensitive_total",)
+        if key not in self._slice_cache:
+            self._slice_cache[key] = int(self.omap.sum(dtype=np.int64))
+        return self._slice_cache[key]
+
+    def channel_tile_cycles_fast(
+        self,
+        cols_per_row: int,
+        use_output_switching: bool,
+        use_imap: bool,
+        tile_positions: int,
+    ) -> np.ndarray:
+        """Batched equivalent of :meth:`channel_tile_cycles` (bit-identical)."""
+        if tile_positions <= 0:
+            raise ValueError(f"tile_positions must be positive, got {tile_positions}")
+        key = ("tiles_fast", cols_per_row, use_output_switching, use_imap, tile_positions)
+        if key in self._slice_cache:
+            return self._slice_cache[key]
+        cycles = self.position_cycles(cols_per_row, use_imap)
+        positions = cycles.shape[0]
+        num_tiles = -(-positions // tile_positions)
+        pad = num_tiles * tile_positions - positions
+        padded_cycles = np.pad(cycles, (0, pad)) if pad else cycles
+        tiled_cycles = padded_cycles.reshape(num_tiles, tile_positions)
+        if not use_output_switching:
+            tile_totals = tiled_cycles.sum(axis=1)
+            result = np.broadcast_to(
+                tile_totals[None, :], (self.spec.out_channels, num_tiles)
+            )
+        elif not use_imap:
+            # uniform per-position cost: tile cost = sensitive count x cost
+            dense_cycles = int(cycles[0]) if positions else 0
+            counts = np.einsum(
+                "cst->cs", self._padded_tiles(tile_positions), dtype=np.int64
+            )
+            result = counts * dense_cycles
+        else:
+            result = np.einsum(
+                "cst,st->cs", self._padded_tiles(tile_positions), tiled_cycles
+            )
+        self._slice_cache[key] = result
+        return result
+
+    def channel_tile_switch_counts_fast(self, tile_positions: int) -> np.ndarray:
+        """Batched equivalent of :meth:`channel_tile_switch_counts`."""
+        if tile_positions <= 0:
+            raise ValueError(f"tile_positions must be positive, got {tile_positions}")
+        key = ("tile_counts_fast", tile_positions)
+        if key not in self._slice_cache:
+            self._slice_cache[key] = np.einsum(
+                "cst->cs", self._padded_tiles(tile_positions), dtype=np.int64
+            )
+        return self._slice_cache[key]
+
+    def executed_macs_total(self, use_output_switching: bool, use_imap: bool) -> int:
+        """Integer-exact total of ``channel_macs(...)`` (memoized).
+
+        Equals ``int(channel_macs(use_output_switching, use_imap).sum())``:
+        every value involved is an integer below 2**53, so the reference's
+        float64 accumulation is exact and the integer computation here
+        matches it bit for bit.
+        """
+        key = ("executed_total", use_output_switching, use_imap)
+        if key in self._slice_cache:
+            return self._slice_cache[key]
+        positions = self.spec.out_h * self.spec.out_w
+        if use_imap:
+            costs = self.position_costs().reshape(-1).astype(np.int64)
+            if use_output_switching:
+                per_position = self.omap.reshape(
+                    self.spec.out_channels, -1
+                ).sum(axis=0, dtype=np.int64)
+                total = int(per_position @ costs)
+            else:
+                total = self.spec.out_channels * int(costs.sum())
+        else:
+            sensitive = (
+                self.sensitive_total
+                if use_output_switching
+                else self.spec.out_channels * positions
+            )
+            total = sensitive * self.spec.receptive_field
+        self._slice_cache[key] = total
+        return total
+
     def channel_macs(self, use_output_switching: bool, use_imap: bool) -> np.ndarray:
         """Executed MACs per output channel, shape ``(C_out,)``."""
         if use_imap:

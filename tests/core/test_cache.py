@@ -1,0 +1,97 @@
+"""The content-fingerprint memo caches never change numerics."""
+
+import numpy as np
+import pytest
+
+from repro.core import cache
+from repro.core.switching import switching_map
+from repro.core.thresholds import tune_threshold_for_fraction
+from repro.nn.functional import im2col
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    cache.clear_caches()
+    cache.set_cache_enabled(True)
+    yield
+    cache.clear_caches()
+    cache.set_cache_enabled(True)
+
+
+class TestFingerprint:
+    def test_content_sensitivity(self):
+        x = np.arange(12, dtype=np.float64)
+        assert cache.array_fingerprint(x) == cache.array_fingerprint(x.copy())
+        y = x.copy()
+        y[3] += 1e-12
+        assert cache.array_fingerprint(x) != cache.array_fingerprint(y)
+
+    def test_shape_and_dtype_sensitivity(self):
+        x = np.zeros(12)
+        assert cache.array_fingerprint(x) != cache.array_fingerprint(
+            x.reshape(3, 4)
+        )
+        assert cache.array_fingerprint(x) != cache.array_fingerprint(
+            x.astype(np.float32)
+        )
+
+
+class TestIm2colCache:
+    def test_hit_returns_identical_buffer(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        expected = im2col(x, (3, 3), 1, 1)
+        first = cache.im2col_cached(x, (3, 3), 1, 1)
+        second = cache.im2col_cached(x.copy(), (3, 3), 1, 1)
+        np.testing.assert_array_equal(first, expected)
+        assert second is first  # shared read-only buffer
+        assert cache.IM2COL_CACHE.hits == 1
+        with pytest.raises(ValueError):
+            first[0, 0] = 1.0  # cached buffers are immutable
+
+    def test_geometry_is_part_of_the_key(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 6, 6))
+        a = cache.im2col_cached(x, (3, 3), 1, 1)
+        b = cache.im2col_cached(x, (3, 3), 2, 1)
+        assert a.shape != b.shape
+
+    def test_disabled_bypasses(self):
+        cache.set_cache_enabled(False)
+        x = np.zeros((1, 1, 4, 4))
+        cache.im2col_cached(x, (3, 3), 1, 0)
+        assert len(cache.IM2COL_CACHE) == 0
+
+
+class TestSwitchingAndThresholdCaches:
+    def test_switching_map_matches_uncached(self):
+        y = np.random.default_rng(2).normal(size=(4, 8))
+        for activation, theta in (("relu", 0.1), ("tanh", 0.5)):
+            cached = cache.switching_map_cached(y, activation, theta, layer="L")
+            np.testing.assert_array_equal(
+                cached, switching_map(y, activation, theta)
+            )
+            again = cache.switching_map_cached(y, activation, theta, layer="L")
+            assert again is cached
+
+    def test_threshold_matches_uncached(self):
+        y = np.random.default_rng(3).normal(size=1000)
+        for activation in ("relu", "sigmoid"):
+            theta = cache.tune_threshold_cached(y, activation, 0.6, layer=0)
+            assert theta == tune_threshold_for_fraction(y, activation, 0.6)
+        assert cache.THRESHOLD_CACHE.misses == 2
+
+    def test_lru_eviction_is_bounded(self):
+        small = cache.MemoCache("t", capacity=2)
+        small.put("a", 1)
+        small.put("b", 2)
+        small.put("c", 3)
+        assert len(small) == 2
+        assert small.get("a") is None  # evicted
+        assert small.get("c") == 3
+
+    def test_stats_snapshot(self):
+        y = np.zeros(10)
+        cache.tune_threshold_cached(y, "relu", 0.5)
+        cache.tune_threshold_cached(y, "relu", 0.5)
+        stats = cache.cache_stats()["threshold"]
+        assert stats["hits"] == 1 and stats["misses"] == 1

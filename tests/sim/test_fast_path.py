@@ -1,0 +1,268 @@
+"""Fast-path equivalence: the vectorized kernels against the oracle.
+
+The ``fast_path`` configuration flag swaps the simulator's per-event
+Python loops for batched numpy kernels; the slow path is kept as the
+reference oracle.  These tests pin the contract: for *any* workload and
+configuration the two paths produce identical cycle, energy, MAC and
+switch-fraction accounting -- equality, not approximation.
+
+Also includes the bench-harness regression: ``repro bench --smoke`` must
+emit a valid ``BENCH_duet.json`` whose equivalence checks pass.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.models import ConvSpec, get_model_spec
+from repro.sim import DuetAccelerator
+from repro.sim.config import STAGES, DuetConfig, stage_config
+from repro.sim.executor import ExecutorModel
+from repro.sim.pe import (
+    PE,
+    generate_tile_instructions,
+    tag_instructions,
+    tag_instructions_reference,
+)
+from repro.sim.pipeline import RnnPipeline
+from repro.workloads import SparsityModel, cnn_workloads, rnn_workloads
+from repro.workloads.sparsity import CnnLayerWorkload
+
+conv_shapes = st.tuples(
+    st.integers(1, 6),  # C_in
+    st.integers(1, 24),  # C_out
+    st.sampled_from([1, 3]),  # kernel
+    st.integers(4, 10),  # H = W
+)
+
+hw_knobs = st.tuples(
+    st.sampled_from([4, 8, 16]),  # executor rows
+    st.sampled_from([4, 16]),  # executor cols
+    st.sampled_from([2, 4]),  # reorder buckets
+    st.sampled_from([1, 2]),  # reorder window tiles
+)
+
+
+def _workload(shape, sensitive_p, density_p, seed):
+    c_in, c_out, k, hw = shape
+    spec = ConvSpec("c", c_in, c_out, k, 1, k // 2, hw, hw)
+    rng = np.random.default_rng(seed)
+    omap = (rng.random((c_out, spec.out_h, spec.out_w)) < sensitive_p).astype(
+        np.uint8
+    )
+    imap = (rng.random((c_in, hw, hw)) < density_p).astype(np.uint8)
+    return CnnLayerWorkload(spec, omap, imap)
+
+
+def _configs(stage, rows, cols, buckets, window):
+    """Matching (fast, slow) configs for one randomized design point."""
+    base = DuetConfig(
+        executor_rows=rows,
+        executor_cols=cols,
+        reorder_buckets=buckets,
+        reorder_window_tiles=window,
+    )
+    cfg = stage_config(stage, base)
+    import dataclasses
+
+    return (
+        dataclasses.replace(cfg, fast_path=True),
+        dataclasses.replace(cfg, fast_path=False),
+    )
+
+
+class TestExecutorFastPath:
+    """Vectorized CNN executor model vs the per-channel reference."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        conv_shapes,
+        st.sampled_from(STAGES),
+        hw_knobs,
+        st.floats(0.05, 0.95),
+        st.floats(0.05, 0.95),
+        st.integers(0, 10_000),
+    )
+    def test_cnn_cost_identical(
+        self, shape, stage, knobs, sensitive_p, density_p, seed
+    ):
+        workload = _workload(shape, sensitive_p, density_p, seed)
+        fast_cfg, slow_cfg = _configs(stage, *knobs)
+        fast = ExecutorModel(fast_cfg).cnn_layer(workload)
+        slow = ExecutorModel(slow_cfg).cnn_layer(workload)
+        assert fast.cycles == slow.cycles
+        assert fast.executed_macs == slow.executed_macs
+        assert fast.dense_macs == slow.dense_macs
+        assert fast.utilization == slow.utilization
+        assert fast.schedule == slow.schedule
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        conv_shapes,
+        st.floats(0.05, 0.95),
+        st.integers(0, 10_000),
+    )
+    def test_memoized_cost_stable_across_calls(self, shape, p, seed):
+        """A second fast call returns the same account (memo correctness)."""
+        workload = _workload(shape, p, 0.5, seed)
+        model = ExecutorModel(stage_config("DUET"))
+        first = model.cnn_layer(workload)
+        second = model.cnn_layer(workload)
+        assert first.cycles == second.cycles
+        assert first.executed_macs == second.executed_macs
+
+
+class TestPeFastPath:
+    """Vectorized PE instruction stream vs the event-at-a-time oracle."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(1, 4),  # kernel
+        st.integers(1, 6),  # out_w
+        st.floats(0.0, 1.0),  # omap density
+        st.booleans(),  # with imap
+        st.integers(0, 10_000),
+    )
+    def test_run_matches_reference(self, kernel, out_w, p, with_imap, seed):
+        rng = np.random.default_rng(seed)
+        tile_h, tile_w = kernel, kernel + out_w - 1
+        instructions = generate_tile_instructions(tile_h, tile_w, kernel, out_w)
+        omap = (rng.random(out_w) < p).astype(np.uint8)
+        imap = (
+            (rng.random(tile_h * tile_w) < 0.7).astype(np.uint8)
+            if with_imap
+            else None
+        )
+        tags = tag_instructions(instructions, omap, imap)
+        ref_tags = tag_instructions_reference(instructions, omap, imap)
+        np.testing.assert_array_equal(tags, ref_tags)
+
+        inputs = rng.normal(size=tile_h * tile_w)
+        weights = rng.normal(size=kernel * kernel)
+        fast_pe, ref_pe = PE(), PE()
+        fast_pe.load_tile(inputs, weights, out_w)
+        ref_pe.load_tile(inputs, weights, out_w)
+        fast = fast_pe.run(instructions, tags)
+        ref = ref_pe.run_reference(instructions, ref_tags)
+        np.testing.assert_array_equal(fast, ref)
+        assert fast_pe.cycles == ref_pe.cycles
+        assert fast_pe.macs_executed == ref_pe.macs_executed
+        assert fast_pe.macs_skipped == ref_pe.macs_skipped
+
+
+class TestModelReports:
+    """Whole-model reports: every per-layer counter identical."""
+
+    @pytest.mark.parametrize("model", ["alexnet", "lstm"])
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_fast_slow_reports_identical(self, model, stage):
+        spec = get_model_spec(model)
+        sparsity = SparsityModel(seed=3)
+        if spec.domain == "cnn":
+            wl = cnn_workloads(spec, sparsity)
+        else:
+            wl = rnn_workloads(spec, sparsity)
+        import dataclasses
+
+        cfg = stage_config(stage)
+        fast = DuetAccelerator(
+            config=dataclasses.replace(cfg, fast_path=True)
+        ).run(spec, workloads=wl)
+        slow = DuetAccelerator(
+            config=dataclasses.replace(cfg, fast_path=False)
+        ).run(spec, workloads=wl)
+        # LayerReport is a plain dataclass of scalars: == is exact equality
+        # of every cycle/energy/MAC/utilisation field, layer by layer.
+        assert fast.layers == slow.layers
+
+    def test_switch_fraction_identical(self):
+        """The Fig. 2-style sensitive fraction agrees across paths."""
+        spec = get_model_spec("resnet18")
+        sparsity = SparsityModel(seed=7)
+        wl = cnn_workloads(spec, sparsity)
+        import dataclasses
+
+        cfg = stage_config("DUET")
+        reports = {
+            flag: DuetAccelerator(
+                config=dataclasses.replace(cfg, fast_path=flag)
+            ).run(spec, workloads=wl)
+            for flag in (True, False)
+        }
+        for fast_layer, slow_layer in zip(
+            reports[True].layers, reports[False].layers
+        ):
+            assert fast_layer.executed_macs == slow_layer.executed_macs
+            assert fast_layer.dense_macs == slow_layer.dense_macs
+
+
+class TestRnnPipelineFastPath:
+    """The vectorized RNN gate pipeline vs the per-timestep loop."""
+
+    @pytest.mark.parametrize("model", ["lstm", "gru", "gnmt"])
+    def test_rnn_layers_identical(self, model):
+        spec = get_model_spec(model)
+        wl = rnn_workloads(spec, SparsityModel(seed=11))
+        import dataclasses
+
+        for stage in ("BASE", "DUET"):
+            cfg = stage_config(stage)
+            fast = RnnPipeline(
+                dataclasses.replace(cfg, fast_path=True)
+            ).run(spec, wl)
+            slow = RnnPipeline(
+                dataclasses.replace(cfg, fast_path=False)
+            ).run(spec, wl)
+            assert fast.layers == slow.layers
+
+
+class TestBenchHarness:
+    """``repro bench --smoke`` writes a valid BENCH_duet.json."""
+
+    def test_smoke_bench_writes_valid_json(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_duet.json"
+        code = cli.main(
+            [
+                "bench",
+                "--smoke",
+                "--warmup",
+                "0",
+                "--repeat",
+                "1",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        assert document["schema"] == "duet-bench/1"
+        assert document["smoke"] is True
+        assert document["all_equivalent"] is True
+        assert document["suites"], "smoke run must time at least one suite"
+        for suite in document["suites"]:
+            assert suite["equivalence"] == "bit-identical"
+            assert suite["simulated_cycles"] > 0
+            assert suite["wall_time_s"]["fast"] > 0
+            assert suite["wall_time_s"]["slow"] > 0
+            assert suite["speedup_vs_slow_path"] > 0
+            assert suite["bench_file"].startswith("benchmarks/bench_")
+        assert document["geomean_speedup_vs_slow_path"] > 0
+
+    def test_explicit_suite_selection(self, tmp_path):
+        out_file = tmp_path / "b.json"
+        code = cli.main(
+            ["bench", "--suite", "fig12d_rnn_memory", "--smoke",
+             "--warmup", "0", "--repeat", "1", "--output", str(out_file)]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        assert [s["name"] for s in document["suites"]] == ["fig12d_rnn_memory"]
+
+    def test_list_flag_prints_registry(self, capsys):
+        assert cli.main(["bench", "--list"]) == 0
+        listing = capsys.readouterr().out
+        assert "fig11a_overall" in listing

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links/images whose
+target is a relative path (optionally with a ``#fragment``) and checks
+the target exists on disk relative to the file containing the link.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped.
+
+Usage: ``python tools/check_links.py [files...]`` (defaults to README.md
+and docs/*.md from the repo root). Exits 1 listing every dead link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# inline markdown links/images: [text](target) / ![alt](target),
+# skipping fenced code blocks handled below.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(markdown: str):
+    """Yield link targets outside fenced code blocks."""
+    in_fence = False
+    for line in markdown.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield match.group(1)
+
+
+def dead_links(path: Path) -> list[str]:
+    """Relative link targets in ``path`` that do not exist on disk."""
+    dead = []
+    for target in iter_links(path.read_text()):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            dead.append(target)
+    return dead
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    failures = 0
+    for path in files:
+        if not path.is_file():
+            print(f"error: no such file {path}", file=sys.stderr)
+            failures += 1
+            continue
+        for target in dead_links(path):
+            print(f"{path}: dead link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
