@@ -1,17 +1,25 @@
-"""Unified repro bench harness (``python -m repro bench``).
+"""Unified repro bench harness (``python -m repro bench`` / ``loadgen``).
 
-Times the simulator's vectorized fast path against the per-event slow
-path (the reference oracle) on the paper's experiment suites and writes a
-machine-readable ``BENCH_duet.json`` report.
+Two machine-readable bench reports:
+
+- ``BENCH_duet.json`` (``python -m repro bench``): times the simulator's
+  vectorized fast path against the per-event slow path (the reference
+  oracle) on the paper's experiment suites.
+- ``BENCH_serving.json`` (``python -m repro loadgen``): the serving-tier
+  SLO campaign -- nominal / overload / batching-capacity scenarios over
+  seeded arrival traces (:mod:`repro.bench.serving`).
+
+Modules:
 
 - :mod:`repro.bench.suites` -- the registry mapping suite names to
   ``benchmarks/bench_*.py`` files and their simulator-level runners.
 - :mod:`repro.bench.harness` -- discovery, warmup/repeat timing,
   fast-vs-slow equivalence checking, and JSON emission.
+- :mod:`repro.bench.serving` -- the serving scenario campaign.
 
-See ``docs/performance.md`` for how to run the harness and read the
-output, and ``docs/benchmarks.md`` for the paper-figure mapping of every
-bench file.
+See ``docs/performance.md`` for how to run the timing harness,
+``docs/serving.md`` for the serving campaign, and ``docs/benchmarks.md``
+for the paper-figure mapping of every bench file.
 """
 
 from repro.bench.harness import (
@@ -20,14 +28,18 @@ from repro.bench.harness import (
     run_bench,
     run_suite,
 )
+from repro.bench.serving import SERVE_SCHEMA, run_serving_bench, serve_scenarios
 from repro.bench.suites import SUITES, BenchSuite, suite_names
 
 __all__ = [
     "BENCH_SCHEMA",
     "BenchSuite",
+    "SERVE_SCHEMA",
     "SUITES",
     "suite_names",
     "discover_bench_files",
     "run_bench",
+    "run_serving_bench",
     "run_suite",
+    "serve_scenarios",
 ]

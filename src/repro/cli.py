@@ -11,6 +11,10 @@ Commands:
   degradation report.
 - ``bench``                 time the fast path against the slow-path
   oracle and write ``BENCH_duet.json``.
+- ``serve``                 simulate the serving front end on one seeded
+  arrival trace and print the SLO report.
+- ``loadgen``               run the serving scenario campaign and write
+  ``BENCH_serving.json``.
 
 Every command prints a plain-text table; all simulations are seeded and
 deterministic.  Usage errors (unknown model, incompatible flags) exit
@@ -23,9 +27,18 @@ import argparse
 import sys
 
 from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
-from repro.bench import SUITES, run_bench
+from repro.bench import SUITES, run_bench, run_serving_bench
 from repro.models import MODEL_REGISTRY, get_model_spec
 from repro.reliability import CAMPAIGNS, GuardSettings, run_fault_campaign
+from repro.reporting import format_percent
+from repro.serving import (
+    ARRIVAL_PROCESSES,
+    AdmissionConfig,
+    BatchPolicy,
+    ServerConfig,
+    TraceConfig,
+    simulate_serving,
+)
 from repro.sim import AreaModel, DuetAccelerator
 from repro.sim.config import STAGES
 from repro.workloads import SparsityModel, cnn_workloads, rnn_workloads
@@ -113,6 +126,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--list", action="store_true", dest="list_suites",
         help="list registered suites and exit",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="simulate the serving front end on one seeded arrival trace",
+    )
+    p_serve.add_argument(
+        "--model", action="append", choices=sorted(MODEL_REGISTRY), default=None,
+        help="traffic-mix model (repeatable; default alexnet + lstm)",
+    )
+    p_serve.add_argument("--requests", type=int, default=1000, help="trace length")
+    p_serve.add_argument(
+        "--rate", type=float, default=200.0,
+        help="mean arrival rate in requests per simulated second",
+    )
+    p_serve.add_argument(
+        "--arrival", default="poisson", choices=ARRIVAL_PROCESSES,
+        help="arrival process",
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="trace seed")
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="simulated accelerator workers"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic-batching cap (1 = off)"
+    )
+    p_serve.add_argument(
+        "--max-wait-us", type=float, default=200.0,
+        help="microbatch deadline in simulated microseconds",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission queue bound (arrivals beyond it are rejected)",
+    )
+    p_serve.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="token-bucket sustained admit rate in req/s (default: off)",
+    )
+    p_serve.add_argument(
+        "--variants", type=int, default=4,
+        help="distinct workload samples circulating in the traffic",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="run the serving scenario campaign, write BENCH_serving.json",
+    )
+    p_load.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized campaign (~2k requests instead of ~10k)",
+    )
+    p_load.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_load.add_argument(
+        "--workers", type=int, default=2, help="simulated accelerator workers"
+    )
+    p_load.add_argument(
+        "--max-batch", type=int, default=8,
+        help="dynamic-batching cap of the batched arms",
+    )
+    p_load.add_argument(
+        "--arrival", default="poisson", choices=ARRIVAL_PROCESSES,
+        help="arrival process of every scenario trace",
+    )
+    p_load.add_argument(
+        "--scale", type=float, default=1.0,
+        help="request-count multiplier (floor 20 per scenario)",
+    )
+    p_load.add_argument(
+        "--slow-path", action="store_true",
+        help="simulate on the per-event slow-path oracle instead",
+    )
+    p_load.add_argument(
+        "--output", default="BENCH_serving.json",
+        help="result path (default BENCH_serving.json at the repo root)",
     )
     return parser
 
@@ -275,6 +362,100 @@ def _cmd_bench(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    if args.requests < 1:
+        raise CliError(f"--requests must be >= 1, got {args.requests}")
+    if args.rate <= 0:
+        raise CliError(f"--rate must be positive, got {args.rate}")
+    if args.workers < 1:
+        raise CliError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_batch < 1:
+        raise CliError(f"--max-batch must be >= 1, got {args.max_batch}")
+    models = tuple(args.model) if args.model else ("alexnet", "lstm")
+    trace = TraceConfig(
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        arrival=args.arrival,
+        models=models,
+        workload_variants=args.variants,
+        seed=args.seed,
+    )
+    server = ServerConfig(
+        workers=args.workers,
+        batch=BatchPolicy(max_batch=args.max_batch, max_wait_us=args.max_wait_us),
+        admission=AdmissionConfig(
+            max_queue_depth=args.queue_depth, rate_limit_rps=args.rate_limit
+        ),
+    )
+    result = simulate_serving(trace, config=server)
+    out.write(
+        f"serving {', '.join(models)} at {args.rate:g} req/s ({args.arrival}, "
+        f"seed {args.seed}): {args.workers} worker(s), max batch "
+        f"{args.max_batch}, queue bound {args.queue_depth}\n"
+    )
+    out.write(result.summary.format() + "\n")
+    out.write(
+        f"  queue peak : {result.max_queue_depth} pending "
+        f"(bound {args.queue_depth})\n"
+    )
+    return 0
+
+
+def _cmd_loadgen(args, out) -> int:
+    if args.workers < 1:
+        raise CliError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_batch < 1:
+        raise CliError(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.scale <= 0:
+        raise CliError(f"--scale must be positive, got {args.scale}")
+    out.write(
+        f"{'scenario':>18s} {'requests':>9s} {'p50 ms':>9s} {'p95 ms':>9s} "
+        f"{'p99 ms':>9s} {'req/s':>8s} {'reject':>7s} {'degraded':>9s}\n"
+    )
+
+    def _progress(record):
+        summary = record["summary"]
+        latency = summary["latency_ms"]
+
+        def ms(value):
+            return f"{value:9.3f}" if value is not None else f"{'n/a':>9s}"
+
+        out.write(
+            f"{record['name']:>18s} {record['requests']:9d} "
+            f"{ms(latency['p50'])} {ms(latency['p95'])} {ms(latency['p99'])} "
+            f"{summary['throughput_rps']:8.1f} "
+            f"{format_percent(summary['reject_rate']):>7s} "
+            f"{summary['degraded']:9d}\n"
+        )
+
+    document = run_serving_bench(
+        smoke=args.smoke,
+        seed=args.seed,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        arrival=args.arrival,
+        scale=args.scale,
+        fast_path=not args.slow_path,
+        output=args.output,
+        progress=_progress,
+    )
+    batching = document["batching"]
+    overload = next(
+        s["summary"] for s in document["scenarios"] if s["name"] == "overload"
+    )
+    stages = "  ".join(
+        f"{stage}={count}" for stage, count in overload["stage_counts"].items()
+    )
+    out.write(f"overload stage counts: {stages}\n")
+    out.write(
+        f"dynamic batching (max {batching['max_batch']}): "
+        f"{batching['batched_throughput_rps']:.1f} req/s vs "
+        f"{batching['batch1_throughput_rps']:.1f} req/s unbatched = "
+        f"{batching['speedup']:.2f}x throughput; results in {args.output}\n"
+    )
+    return 0
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "simulate": _cmd_simulate,
@@ -283,6 +464,8 @@ _COMMANDS = {
     "area": _cmd_area,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

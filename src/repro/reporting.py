@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_ratio_row"]
+__all__ = ["format_table", "format_ratio_row", "format_percent"]
 
 
 def format_table(
@@ -62,3 +62,8 @@ def format_ratio_row(label: str, value: float, paper: float | None = None) -> st
     """One "measured vs paper" comparison line."""
     suffix = f"  (paper: {paper:.2f}x)" if paper is not None else ""
     return f"{label}: {value:.2f}x{suffix}"
+
+
+def format_percent(value: float, precision: int = 1) -> str:
+    """Render a fraction as a percentage (``0.034`` -> ``'3.4%'``)."""
+    return f"{100.0 * value:.{precision}f}%"

@@ -1,0 +1,73 @@
+"""Async batched serving front end for the simulated DUET accelerator.
+
+Models million-user inference traffic end to end on the fast-path
+simulator: a seeded open-loop load generator feeds an admission
+controller (token bucket + bounded queue with 429-style rejects), a
+dynamic batcher (max-batch / max-wait microbatching, one FIFO per
+model), and a pool of N simulated :class:`~repro.sim.DuetAccelerator`
+workers that shed capability down the reliability subsystem's ladder
+(``DUET -> IOS -> BOS -> OS``) under queue pressure before anything is
+rejected.  Every run closes with a full SLO account -- p50/p95/p99
+latency, throughput, reject and degrade rates, per-rung serve counts.
+
+Entry points:
+
+- :func:`simulate_serving` / :class:`ServingSimulator` -- replay a trace.
+- :func:`generate_trace` -- seeded Poisson / bursty arrival traces.
+- ``python -m repro serve`` -- one campaign, human-readable SLO report.
+- ``python -m repro loadgen`` -- the scenario campaign behind
+  ``BENCH_serving.json`` (:mod:`repro.bench.serving`).
+
+See ``docs/serving.md`` for the queueing model and SLO semantics.
+"""
+
+from repro.serving.admission import AdmissionConfig, AdmissionController, TokenBucket
+from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.loadgen import ARRIVAL_PROCESSES, TraceConfig, generate_trace
+from repro.serving.overload import SERVING_LADDER, OverloadPolicy
+from repro.serving.request import (
+    COMPLETED,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECTED,
+    Request,
+    RequestRecord,
+)
+from repro.serving.server import (
+    ServerConfig,
+    ServingResult,
+    ServingSimulator,
+    simulate_serving,
+)
+from repro.serving.slo import SloSummary, percentile, summarize
+from repro.serving.workers import BatchExecutor, BatchResult, ServiceModel, WorkerPool
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BatchExecutor",
+    "BatchPolicy",
+    "BatchResult",
+    "COMPLETED",
+    "DynamicBatcher",
+    "OverloadPolicy",
+    "REJECTED",
+    "REJECT_QUEUE_FULL",
+    "REJECT_RATE_LIMITED",
+    "Request",
+    "RequestRecord",
+    "SERVING_LADDER",
+    "ServerConfig",
+    "ServiceModel",
+    "ServingResult",
+    "ServingSimulator",
+    "SloSummary",
+    "TokenBucket",
+    "TraceConfig",
+    "WorkerPool",
+    "generate_trace",
+    "percentile",
+    "simulate_serving",
+    "summarize",
+]

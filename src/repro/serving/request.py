@@ -1,0 +1,105 @@
+"""Request and outcome records of the serving tier.
+
+A :class:`Request` is one inference job arriving at the serving front
+end: a registered benchmark model plus a per-request workload seed (the
+sparsity draw standing in for "this user's input sample").  All times are
+integer **simulated accelerator cycles** at the hardware clock
+(:attr:`repro.sim.config.DuetConfig.clock_hz`, 1 GHz default, so one
+cycle is one nanosecond) -- the whole serving simulation is
+discrete-event and therefore exactly reproducible.
+
+A :class:`RequestRecord` is the request's final account: completed (with
+its dispatch/completion times, batch, and the degradation-ladder rung it
+was served at) or rejected (with the 429-style reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "COMPLETED",
+    "REJECTED",
+    "REJECT_QUEUE_FULL",
+    "REJECT_RATE_LIMITED",
+    "Request",
+    "RequestRecord",
+]
+
+#: Outcome of a request that was served to completion.
+COMPLETED = "completed"
+#: Outcome of a request the admission controller turned away.
+REJECTED = "rejected"
+
+#: Reject reason: the pending queue was at its configured bound.
+REJECT_QUEUE_FULL = "queue-full"
+#: Reject reason: the token-bucket rate limiter was empty.
+REJECT_RATE_LIMITED = "rate-limited"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    Attributes:
+        rid: trace-unique id, assigned in arrival order.
+        model: registered benchmark model name (``repro.models``).
+        arrival_cycle: arrival time in simulated cycles.
+        workload_seed: seed of this request's sparsity/workload draw --
+            requests with the same seed are the same input sample.
+    """
+
+    rid: int
+    model: str
+    arrival_cycle: int
+    workload_seed: int
+
+    def __post_init__(self):
+        if self.arrival_cycle < 0:
+            raise ValueError(
+                f"Request.arrival_cycle must be >= 0, got {self.arrival_cycle}"
+            )
+
+
+@dataclass
+class RequestRecord:
+    """Final account of one request.
+
+    Attributes:
+        request: the request this record closes.
+        outcome: :data:`COMPLETED` or :data:`REJECTED`.
+        reject_reason: :data:`REJECT_QUEUE_FULL` / :data:`REJECT_RATE_LIMITED`
+            when rejected, else None.
+        stage: degradation-ladder rung the request was served at
+            (``DUET``..``OS``); None when rejected.
+        batch_size: size of the dispatched batch the request rode in.
+        dispatch_cycle: cycle its batch started service.
+        completion_cycle: cycle its batch finished service.
+    """
+
+    request: Request
+    outcome: str
+    reject_reason: str | None = None
+    stage: str | None = None
+    batch_size: int | None = None
+    dispatch_cycle: int | None = None
+    completion_cycle: int | None = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the request was served to completion."""
+        return self.outcome == COMPLETED
+
+    @property
+    def queue_cycles(self) -> int:
+        """Cycles spent waiting in the batcher before dispatch."""
+        if self.dispatch_cycle is None:
+            raise ValueError(f"request {self.request.rid} was never dispatched")
+        return self.dispatch_cycle - self.request.arrival_cycle
+
+    @property
+    def latency_cycles(self) -> int:
+        """End-to-end cycles from arrival to batch completion."""
+        if self.completion_cycle is None:
+            raise ValueError(f"request {self.request.rid} never completed")
+        return self.completion_cycle - self.request.arrival_cycle

@@ -1,0 +1,207 @@
+"""The discrete-event serving simulator: queue -> batcher -> workers.
+
+One :class:`ServingSimulator` replays an arrival trace against a
+configured front end and produces the closed
+:class:`~repro.serving.request.RequestRecord` set plus its
+:class:`~repro.serving.slo.SloSummary`.  The event loop is a classic
+three-event design over integer simulated cycles:
+
+- **arrival**: the admission controller either rejects (token bucket /
+  queue bound) or hands the request to the dynamic batcher;
+- **worker-done**: a worker returns to the idle pool;
+- **flush**: a queued request's max-wait deadline passed.
+
+After every event the dispatcher drains: while a worker is idle and the
+batcher has a dispatchable batch, the batch is priced by the
+:class:`~repro.serving.workers.BatchExecutor` at the overload policy's
+current rung and its completion is scheduled.  When workers are idle but
+no batch is dispatchable yet, a flush event is scheduled for the earliest
+max-wait deadline, so the loop never busy-waits and never misses one.
+
+Everything is deterministic: the heap orders ties by insertion sequence,
+the worker pool hands out the smallest idle id, and all times are
+integers -- the same trace and configuration always produce the same
+records (see ``tests/serving/test_server.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.serving.admission import AdmissionConfig, AdmissionController
+from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.loadgen import TraceConfig, generate_trace
+from repro.serving.overload import OverloadPolicy
+from repro.serving.request import COMPLETED, REJECTED, Request, RequestRecord
+from repro.serving.slo import SloSummary, summarize
+from repro.serving.workers import BatchExecutor, WorkerPool
+from repro.sim.config import DuetConfig
+
+__all__ = ["ServerConfig", "ServingResult", "ServingSimulator", "simulate_serving"]
+
+_ARRIVAL, _DONE, _FLUSH = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Full configuration of the serving front end.
+
+    Attributes:
+        workers: simulated accelerator instances behind the queue.
+        batch: dynamic-batching policy.
+        admission: admission-control knobs.
+        overload: occupancy -> degradation-rung policy.
+        hardware: the per-worker accelerator configuration (also fixes
+            the simulated clock).
+    """
+
+    workers: int = 2
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    overload: OverloadPolicy = field(default_factory=OverloadPolicy)
+    hardware: DuetConfig = field(default_factory=DuetConfig)
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(
+                f"ServerConfig.workers must be >= 1, got {self.workers}"
+            )
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run produced.
+
+    Attributes:
+        config: the server configuration.
+        records: one closed record per request, in arrival (rid) order.
+        summary: the run's SLO account.
+        max_queue_depth: deepest the pending queue ever got (always
+            within ``config.admission.max_queue_depth``).
+        simulated_cycles: cycle of the last event (makespan end).
+    """
+
+    config: ServerConfig
+    records: list[RequestRecord]
+    summary: SloSummary
+    max_queue_depth: int
+    simulated_cycles: int
+
+
+class ServingSimulator:
+    """Replays arrival traces against one serving configuration.
+
+    Args:
+        config: server configuration (defaults to ``ServerConfig()``).
+        executor: batch executor; built from ``config.hardware`` when not
+            supplied.  Injecting a stub executor keeps policy-level tests
+            free of accelerator simulation.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        executor: BatchExecutor | None = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        self.executor = (
+            executor
+            if executor is not None
+            else BatchExecutor(config=self.config.hardware)
+        )
+
+    def run(self, trace: list[Request]) -> ServingResult:
+        """Simulate one trace to completion."""
+        cfg = self.config
+        clock_hz = cfg.hardware.clock_hz
+        batcher = DynamicBatcher(cfg.batch, clock_hz=clock_hz)
+        admission = AdmissionController(cfg.admission, clock_hz=clock_hz)
+        pool = WorkerPool(cfg.workers)
+        records: dict[int, RequestRecord] = {}
+        events: list[tuple[int, int, int, object]] = []
+        seq = 0
+        for request in trace:
+            heapq.heappush(events, (request.arrival_cycle, seq, _ARRIVAL, request))
+            seq += 1
+
+        max_depth = 0
+        last_cycle = 0
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            last_cycle = max(last_cycle, now)
+            if kind == _ARRIVAL:
+                reason = admission.admit(now, batcher.depth)
+                if reason is not None:
+                    records[payload.rid] = RequestRecord(
+                        payload, REJECTED, reject_reason=reason
+                    )
+                else:
+                    batcher.push(payload)
+                    max_depth = max(max_depth, batcher.depth)
+            elif kind == _DONE:
+                pool.release(payload)
+            # _FLUSH events exist only to trigger the dispatch pass below
+            seq = self._dispatch(now, batcher, pool, records, events, seq)
+
+        ordered = [records[request.rid] for request in trace]
+        return ServingResult(
+            config=cfg,
+            records=ordered,
+            summary=summarize(ordered, clock_hz=clock_hz),
+            max_queue_depth=max_depth,
+            simulated_cycles=last_cycle,
+        )
+
+    def _dispatch(
+        self,
+        now: int,
+        batcher: DynamicBatcher,
+        pool: WorkerPool,
+        records: dict[int, RequestRecord],
+        events: list,
+        seq: int,
+    ) -> int:
+        cfg = self.config
+        while pool.idle:
+            batch = batcher.pop_batch(now)
+            if batch is None:
+                break
+            # the rung is decided at the pressure the dispatcher saw,
+            # i.e. the depth including the batch it is about to serve
+            stage = cfg.overload.stage_for(
+                batcher.depth + len(batch), cfg.admission.max_queue_depth
+            )
+            worker = pool.acquire()
+            result = self.executor.execute(
+                batch[0].model, [r.workload_seed for r in batch], stage=stage
+            )
+            done = now + result.service_cycles
+            for request in batch:
+                records[request.rid] = RequestRecord(
+                    request,
+                    COMPLETED,
+                    stage=stage,
+                    batch_size=len(batch),
+                    dispatch_cycle=now,
+                    completion_cycle=done,
+                )
+            heapq.heappush(events, (done, seq, _DONE, worker))
+            seq += 1
+        if pool.idle and batcher.depth:
+            flush = batcher.next_flush_cycle()
+            if flush is not None:
+                heapq.heappush(events, (max(flush, now + 1), seq, _FLUSH, None))
+                seq += 1
+        return seq
+
+
+def simulate_serving(
+    trace: TraceConfig | list[Request],
+    config: ServerConfig | None = None,
+    executor: BatchExecutor | None = None,
+) -> ServingResult:
+    """Convenience wrapper: generate (if needed) and replay one trace."""
+    if isinstance(trace, TraceConfig):
+        trace = generate_trace(trace)
+    return ServingSimulator(config=config, executor=executor).run(trace)

@@ -1,0 +1,200 @@
+"""SLO accounting: latency percentiles, throughput, reject/degrade rates.
+
+Everything here is computed from the closed
+:class:`~repro.serving.request.RequestRecord` set of one serving run, in
+simulated time only -- no wall clocks -- so a summary (and the JSON bench
+document built from it) is byte-identical across repeated runs of the
+same seed and trace.
+
+Percentiles use the **nearest-rank** definition (the smallest recorded
+value with at least ``q``% of samples at or below it): standard for
+latency SLOs, exact on small samples, and free of interpolation noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.reporting import format_percent
+from repro.serving.overload import SERVING_LADDER
+from repro.serving.request import RequestRecord
+
+__all__ = ["SloSummary", "percentile", "summarize"]
+
+#: The percentile points every summary reports.
+_POINTS = (50, 95, 99)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values.
+
+    Args:
+        sorted_values: non-empty, ascending.
+        q: percentile in (0, 100].
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def _distribution(values_ms: list[float]) -> dict:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
+    if not values_ms:
+        return {f"p{q}": None for q in _POINTS} | {"mean": None, "max": None}
+    ordered = sorted(values_ms)
+    dist = {f"p{q}": percentile(ordered, q) for q in _POINTS}
+    dist["mean"] = sum(ordered) / len(ordered)
+    dist["max"] = ordered[-1]
+    return dist
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """The SLO account of one serving run.
+
+    Attributes:
+        offered / completed / rejected: request counters.
+        reject_rate: rejected / offered.
+        rejects_by_reason: 429-style reason -> count.
+        duration_ms: simulated makespan (first arrival to last event).
+        throughput_rps: completed requests per simulated second.
+        latency_ms: end-to-end latency distribution (p50/p95/p99/mean/max).
+        queue_ms: queueing-delay distribution (same points).
+        batches: number of dispatches.
+        mean_batch_size: completed / batches.
+        stage_counts: serving-ladder rung -> completed requests served
+            there (every rung listed, zeros included).
+        degraded: completed requests served below the top rung.
+        degrade_rate: degraded / completed.
+    """
+
+    offered: int
+    completed: int
+    rejected: int
+    reject_rate: float
+    rejects_by_reason: dict
+    duration_ms: float
+    throughput_rps: float
+    latency_ms: dict
+    queue_ms: dict
+    batches: int
+    mean_batch_size: float
+    stage_counts: dict
+    degraded: int
+    degrade_rate: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (insertion-ordered, deterministic)."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "reject_rate": self.reject_rate,
+            "rejects_by_reason": dict(sorted(self.rejects_by_reason.items())),
+            "duration_ms": self.duration_ms,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms,
+            "queue_ms": self.queue_ms,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "stage_counts": dict(self.stage_counts),
+            "degraded": self.degraded,
+            "degrade_rate": self.degrade_rate,
+        }
+
+    def format(self) -> str:
+        """Multi-line plain-text rendering for the CLI."""
+
+        def dist(d: dict) -> str:
+            if d["p50"] is None:
+                return "n/a"
+            return (
+                f"p50 {d['p50']:8.3f} ms  p95 {d['p95']:8.3f} ms  "
+                f"p99 {d['p99']:8.3f} ms  (mean {d['mean']:.3f}, "
+                f"max {d['max']:.3f})"
+            )
+
+        lines = [
+            f"  offered    : {self.offered} requests, {self.completed} "
+            f"completed, {self.rejected} rejected "
+            f"({format_percent(self.reject_rate)})",
+            f"  latency    : {dist(self.latency_ms)}",
+            f"  queue wait : {dist(self.queue_ms)}",
+            f"  throughput : {self.throughput_rps:.1f} req/s over "
+            f"{self.duration_ms:.1f} ms simulated",
+            f"  batching   : {self.batches} dispatches, mean size "
+            f"{self.mean_batch_size:.2f}",
+        ]
+        stages = "  ".join(
+            f"{stage}={self.stage_counts.get(stage, 0)}"
+            for stage in SERVING_LADDER
+        )
+        lines.append(
+            f"  stages     : {stages}  (degraded {self.degraded}, "
+            f"{format_percent(self.degrade_rate)})"
+        )
+        if self.rejects_by_reason:
+            reasons = "  ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.rejects_by_reason.items())
+            )
+            lines.append(f"  rejects    : {reasons}")
+        return "\n".join(lines)
+
+
+def summarize(
+    records: list[RequestRecord],
+    clock_hz: float = 1e9,
+    ladder: tuple[str, ...] = SERVING_LADDER,
+) -> SloSummary:
+    """Fold a run's closed records into its :class:`SloSummary`."""
+    to_ms = lambda cycles: cycles / clock_hz * 1e3  # noqa: E731
+    completed = [r for r in records if r.completed]
+    rejected = [r for r in records if not r.completed]
+    rejects_by_reason: dict = {}
+    for r in rejected:
+        reason = r.reject_reason or "unknown"
+        rejects_by_reason[reason] = rejects_by_reason.get(reason, 0) + 1
+
+    start = min((r.request.arrival_cycle for r in records), default=0)
+    end = max(
+        (
+            r.completion_cycle if r.completion_cycle is not None
+            else r.request.arrival_cycle
+            for r in records
+        ),
+        default=0,
+    )
+    duration_cycles = max(end - start, 0)
+    duration_s = duration_cycles / clock_hz
+
+    batches = sum(1.0 / r.batch_size for r in completed if r.batch_size)
+    batches = int(round(batches))
+    stage_counts = {stage: 0 for stage in ladder}
+    for r in completed:
+        if r.stage is not None:
+            stage_counts[r.stage] = stage_counts.get(r.stage, 0) + 1
+    degraded = sum(
+        count for stage, count in stage_counts.items() if stage != ladder[0]
+    )
+
+    return SloSummary(
+        offered=len(records),
+        completed=len(completed),
+        rejected=len(rejected),
+        reject_rate=len(rejected) / len(records) if records else 0.0,
+        rejects_by_reason=rejects_by_reason,
+        duration_ms=to_ms(duration_cycles),
+        throughput_rps=len(completed) / duration_s if duration_s > 0 else 0.0,
+        latency_ms=_distribution([to_ms(r.latency_cycles) for r in completed]),
+        queue_ms=_distribution([to_ms(r.queue_cycles) for r in completed]),
+        batches=batches,
+        mean_batch_size=len(completed) / batches if batches else 0.0,
+        stage_counts=stage_counts,
+        degraded=degraded,
+        degrade_rate=degraded / len(completed) if completed else 0.0,
+    )

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.models.layer_spec import ModelSpec
 from repro.sim.area import AreaBreakdown, AreaModel
 from repro.sim.config import DuetConfig, stage_config
@@ -107,22 +105,30 @@ class DuetAccelerator:
         Section IV-A); per-image variation gives confidence intervals for
         the latency/energy estimates.
 
+        A thin wrapper over the serving tier's
+        :class:`~repro.serving.workers.BatchExecutor`, which forwards
+        *every* accelerator field -- including ``reliability``, which a
+        previous hand-rolled reconstruction silently dropped, detaching
+        active fault campaigns and guards from batched runs.  An attached
+        :class:`~repro.reliability.ReliabilityContext` now threads through
+        the whole batch in sample order (one machine, one campaign).
+
         Returns:
             One :class:`ModelReport` per sample.
         """
+        from repro.serving.workers import BatchExecutor  # avoid import cycle
+
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
-        reports = []
-        for i in range(batch):
-            sparsity = replace(self.sparsity, seed=base_seed + i)
-            acc = DuetAccelerator(
-                config=self.config,
-                energy_model=self.energy_model,
-                reduction=self.reduction,
-                sparsity=sparsity,
-            )
-            reports.append(acc.run(model))
-        return reports
+        executor = BatchExecutor(
+            config=self.config,
+            energy_model=self.energy_model,
+            reduction=self.reduction,
+            sparsity=self.sparsity,
+            reliability=self.reliability,
+        )
+        seeds = [base_seed + i for i in range(batch)]
+        return executor.execute(model, seeds).reports
 
     def area(self) -> AreaBreakdown:
         """Structural area breakdown of this configuration (Table I)."""

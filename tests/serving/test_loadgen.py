@@ -1,0 +1,84 @@
+"""Tests for the seeded load generator."""
+
+import numpy as np
+import pytest
+
+from repro.serving import TraceConfig, generate_trace
+
+
+class TestDeterminism:
+    def test_same_config_same_trace(self):
+        cfg = TraceConfig(n_requests=300, rate_rps=500.0, seed=7)
+        assert generate_trace(cfg) == generate_trace(cfg)
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(TraceConfig(n_requests=100, seed=0))
+        b = generate_trace(TraceConfig(n_requests=100, seed=1))
+        assert a != b
+
+
+class TestTraceShape:
+    def test_sorted_nonnegative_arrivals(self):
+        trace = generate_trace(TraceConfig(n_requests=500, rate_rps=1000.0))
+        arrivals = [r.arrival_cycle for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 0
+        assert [r.rid for r in trace] == list(range(500))
+
+    def test_mean_rate_close_to_configured(self):
+        cfg = TraceConfig(n_requests=4000, rate_rps=1000.0, seed=3)
+        trace = generate_trace(cfg)
+        span_s = trace[-1].arrival_cycle / cfg.clock_hz
+        assert 1000.0 * 0.85 < len(trace) / span_s < 1000.0 * 1.15
+
+    def test_models_and_variants_within_mix(self):
+        cfg = TraceConfig(
+            n_requests=200, models=("lstm", "gru"), workload_variants=3, seed=2
+        )
+        trace = generate_trace(cfg)
+        assert {r.model for r in trace} == {"lstm", "gru"}
+        assert all(0 <= r.workload_seed < 3 for r in trace)
+
+    def test_model_weights_respected(self):
+        cfg = TraceConfig(
+            n_requests=300,
+            models=("alexnet", "lstm"),
+            model_weights=(1.0, 0.0),
+        )
+        assert {r.model for r in generate_trace(cfg)} == {"alexnet"}
+
+
+class TestBursty:
+    def test_burstier_than_poisson(self):
+        """The modulated process has a heavier gap tail: its
+        inter-arrival coefficient of variation exceeds the Poisson
+        process's (which is ~1)."""
+
+        def gap_cv(arrival):
+            cfg = TraceConfig(
+                n_requests=3000, rate_rps=500.0, arrival=arrival, seed=11
+            )
+            gaps = np.diff([r.arrival_cycle for r in generate_trace(cfg)])
+            return gaps.std() / gaps.mean()
+
+        assert gap_cv("bursty") > 1.3 * gap_cv("poisson")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_requests": 0},
+            {"rate_rps": 0.0},
+            {"arrival": "uniform"},
+            {"models": ()},
+            {"model_weights": (1.0,)},
+            {"model_weights": (0.0, 0.0)},
+            {"workload_variants": 0},
+            {"burst_factor": 0.5},
+            {"switch_probability": 1.5},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceConfig(**kwargs)

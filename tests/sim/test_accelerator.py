@@ -142,3 +142,24 @@ class TestBatchRuns:
         reports = DuetAccelerator(stage="DUET").run_batch(spec, batch=5)
         lats = np.array([r.latency_ms for r in reports])
         assert lats.std() / lats.mean() < 0.15
+
+    def test_batch_forwards_reliability_context(self):
+        """Regression: ``run_batch`` used to rebuild its per-sample
+        accelerators without ``reliability``, silently dropping the fault
+        campaign from every batched run.  The context must thread through
+        the whole batch, accumulating state across samples."""
+        from repro.reliability import ReliabilityContext
+
+        spec = get_model_spec("lstm")
+        context = ReliabilityContext(campaign="smoke", seed=5)
+        reports = DuetAccelerator(stage="DUET", reliability=context).run_batch(
+            spec, batch=2, base_seed=0
+        )
+        assert all(r.reliability is not None for r in reports)
+        # one shared context: both samples' layers accumulated in it
+        assert len(context.layers) == sum(len(r.layers) for r in reports)
+
+    def test_batch_without_reliability_has_no_report(self):
+        spec = get_model_spec("lstm")
+        reports = DuetAccelerator(stage="DUET").run_batch(spec, batch=2)
+        assert all(r.reliability is None for r in reports)

@@ -95,3 +95,90 @@ class TestDeterminism:
         _, a = run_cli("simulate", "--model", "resnet18", "--seed", "3")
         _, b = run_cli("simulate", "--model", "resnet18", "--seed", "4")
         assert a != b
+
+class TestServe:
+    def test_happy_path(self):
+        code, text = run_cli(
+            "serve", "--model", "lstm", "--requests", "80",
+            "--rate", "2000", "--seed", "1", "--workers", "2",
+        )
+        assert code == 0
+        assert "serving lstm at 2000 req/s" in text
+        assert "latency" in text and "p50" in text
+        assert "throughput" in text
+        assert "queue peak" in text
+
+    def test_default_mix_and_arrival_flag(self):
+        code, text = run_cli(
+            "serve", "--requests", "40", "--rate", "500",
+            "--arrival", "bursty",
+        )
+        assert code == 0
+        assert "serving alexnet, lstm" in text
+        assert "bursty" in text
+
+    def test_deterministic_across_runs(self):
+        argv = ("serve", "--model", "lstm", "--requests", "60",
+                "--rate", "3000", "--seed", "7")
+        _, a = run_cli(*argv)
+        _, b = run_cli(*argv)
+        assert a == b
+
+    def test_overload_reports_rejects(self):
+        code, text = run_cli(
+            "serve", "--model", "lstm", "--requests", "200",
+            "--rate", "100000", "--workers", "1", "--queue-depth", "8",
+        )
+        assert code == 0
+        assert "queue-full" in text
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("serve", "--requests", "0"),
+            ("serve", "--rate", "0"),
+            ("serve", "--workers", "0"),
+            ("serve", "--max-batch", "0"),
+            ("serve", "--requests", "10", "--variants", "0"),
+        ],
+    )
+    def test_bad_values_exit_2(self, argv):
+        code, out, err = run_cli_err(*argv)
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_unknown_arrival_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("serve", "--arrival", "uniform")
+
+
+class TestLoadgen:
+    def test_small_campaign(self, tmp_path):
+        output = tmp_path / "BENCH_serving.json"
+        code, text = run_cli(
+            "loadgen", "--smoke", "--scale", "0.02",
+            "--output", str(output),
+        )
+        assert code == 0
+        for name in ("nominal", "overload", "capacity_batch1",
+                     "capacity_batched"):
+            assert name in text
+        assert "overload stage counts:" in text
+        assert "dynamic batching" in text
+        assert output.exists()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("loadgen", "--workers", "0"),
+            ("loadgen", "--max-batch", "0"),
+            ("loadgen", "--scale", "0"),
+        ],
+    )
+    def test_bad_values_exit_2(self, argv):
+        code, out, err = run_cli_err(*argv)
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error:")
