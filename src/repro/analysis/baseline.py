@@ -1,0 +1,76 @@
+"""The committed duetlint baseline: grandfathered findings by fingerprint.
+
+The baseline lets duetlint be adopted on a tree with pre-existing
+findings: ``python -m repro lint --baseline update`` records the current
+findings' fingerprints, and subsequent runs filter them out while still
+failing on anything *new*.  The file is committed
+(``.duetlint-baseline.json`` at the repo root) so the grandfathered set
+is reviewed like any other change; the goal is to keep it empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.schema import SchemaError, validate_schema
+
+__all__ = ["BASELINE_SCHEMA", "DEFAULT_BASELINE_NAME", "load_baseline", "save_baseline"]
+
+#: schema identifier written into the baseline file.
+BASELINE_SCHEMA = "duetlint-baseline/1"
+
+#: default baseline filename, resolved against the lint root.
+DEFAULT_BASELINE_NAME = ".duetlint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints grandfathered by the baseline at ``path``.
+
+    A missing file is an empty baseline.  A malformed or
+    wrong-schema file raises :class:`~repro.analysis.schema.SchemaError`
+    so a corrupted baseline cannot silently grandfather everything.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"baseline {path} is not valid JSON: {exc}") from exc
+    validate_schema(document, BASELINE_SCHEMA)
+    entries = document.get("entries", [])
+    if not isinstance(entries, list):
+        raise SchemaError(f"baseline {path} 'entries' must be a list")
+    fingerprints = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise SchemaError(
+                f"baseline {path} entries must be objects with a 'fingerprint'"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> dict:
+    """Write ``findings`` as the new baseline at ``path``; returns the doc.
+
+    Entries keep the human-readable context (path, rule, message) next
+    to the fingerprint so baseline diffs are reviewable.
+    """
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in sorted(findings)
+        ],
+    }
+    validate_schema(document, BASELINE_SCHEMA)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document

@@ -1,0 +1,103 @@
+"""CFG001: every ``DuetConfig`` field is validated and documented.
+
+``DuetConfig`` is the single knob surface of the simulator; an
+unvalidated field means a typo'd configuration silently produces wrong
+cycle counts (the power-of-two and positivity checks exist for exactly
+that reason), and an undocumented field means users discover knobs by
+reading the dataclass.  The rule cross-checks the dataclass fields in
+``src/repro/sim/config.py`` against its ``__post_init__`` validation and
+the field reference in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import ParsedModule, Project
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+_CONFIG_FILE = "src/repro/sim/config.py"
+_DOC_FILE = "docs/api.md"
+_CLASS_NAME = "DuetConfig"
+
+
+def _field_names(cls: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.append((stmt.target.id, stmt))
+    return fields
+
+
+def _is_bool_field(node: ast.AnnAssign) -> bool:
+    return isinstance(node.annotation, ast.Name) and node.annotation.id == "bool"
+
+
+def _post_init_mentions(cls: ast.ClassDef) -> set[str]:
+    """Identifiers referenced inside ``__post_init__``: names, ``self.X``
+    attributes, and string constants (the getattr-over-tuple idiom)."""
+    mentioned: set[str] = set()
+    for stmt in cls.body:
+        if not (
+            isinstance(stmt, ast.FunctionDef) and stmt.name == "__post_init__"
+        ):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name):
+                mentioned.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                mentioned.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                mentioned.add(node.value)
+    return mentioned
+
+
+@register
+class ConfigFieldRule(Rule):
+    """CFG001: DuetConfig fields are validated and documented."""
+
+    code = "CFG001"
+    title = "DuetConfig fields validated in __post_init__, listed in docs/api.md"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath == _CONFIG_FILE
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        cls = next(
+            (
+                node
+                for node in module.tree.body
+                if isinstance(node, ast.ClassDef) and node.name == _CLASS_NAME
+            ),
+            None,
+        )
+        if cls is None:
+            return
+        doc_text = project.read_text(_DOC_FILE)
+        validated = _post_init_mentions(cls)
+        for name, field in _field_names(cls):
+            if not _is_bool_field(field) and name not in validated:
+                yield self.finding(
+                    module,
+                    field,
+                    f"{_CLASS_NAME}.{name} is never checked in __post_init__: "
+                    "validate it (range/divisibility) so a typo'd config "
+                    "fails fast instead of producing wrong cycle counts",
+                )
+            if doc_text is None:
+                yield self.finding(
+                    module,
+                    field,
+                    f"{_CLASS_NAME}.{name} cannot be doc-checked: "
+                    f"{_DOC_FILE} does not exist",
+                )
+            elif not re.search(rf"\b{re.escape(name)}\b", doc_text):
+                yield self.finding(
+                    module,
+                    field,
+                    f"{_CLASS_NAME}.{name} is not mentioned in {_DOC_FILE}: "
+                    "add it to the hardware-knob reference",
+                )

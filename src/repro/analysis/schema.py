@@ -1,0 +1,78 @@
+"""Runtime schema-string validation shared by SCH001 and the benches.
+
+Every JSON document this repo writes (``BENCH_duet.json``,
+``BENCH_serving.json``, the duetlint report and baseline) carries a
+``"schema"`` field of the form ``name/major`` -- e.g. ``duet-bench/1``.
+The static rule SCH001 enforces that writers declare the string as a
+named module-level constant; this module is the *runtime* half of the
+contract: writers call :func:`validate_schema` on the document before
+emitting it, and readers call it right after parsing, so a forgotten
+version bump or a stale file fails loudly instead of being silently
+misread.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SchemaError", "SCHEMA_PATTERN", "parse_schema", "validate_schema"]
+
+#: ``name/major``: a lowercase dashed name and an integer major version.
+SCHEMA_PATTERN = re.compile(r"^(?P<name>[a-z][a-z0-9-]*)/(?P<major>[0-9]+)$")
+
+
+class SchemaError(ValueError):
+    """A document's schema string is missing, malformed, or mismatched."""
+
+
+def parse_schema(schema: str) -> tuple[str, int]:
+    """Split a ``name/major`` schema string into its parts.
+
+    Raises:
+        SchemaError: if the string does not match :data:`SCHEMA_PATTERN`.
+    """
+    if not isinstance(schema, str):
+        raise SchemaError(f"schema must be a string, got {type(schema).__name__}")
+    match = SCHEMA_PATTERN.match(schema)
+    if match is None:
+        raise SchemaError(
+            f"malformed schema string {schema!r}; expected name/major "
+            "like 'duet-bench/1'"
+        )
+    return match.group("name"), int(match.group("major"))
+
+
+def validate_schema(document: dict, expected: str) -> None:
+    """Check ``document["schema"]`` is compatible with ``expected``.
+
+    Compatibility means: same schema name and same major version.  Used
+    by writers (just before serialising) and readers (just after
+    parsing).
+
+    Args:
+        document: a parsed (or about-to-be-written) JSON document.
+        expected: the ``name/major`` string the caller supports.
+
+    Raises:
+        SchemaError: on a missing/malformed schema field, a different
+            schema name, or a different major version.
+    """
+    expected_name, expected_major = parse_schema(expected)
+    if not isinstance(document, dict):
+        raise SchemaError(
+            f"expected a JSON object with a 'schema' field, got "
+            f"{type(document).__name__}"
+        )
+    if "schema" not in document:
+        raise SchemaError(f"document has no 'schema' field (expected {expected})")
+    name, major = parse_schema(document["schema"])
+    if name != expected_name:
+        raise SchemaError(
+            f"schema name mismatch: document is {document['schema']!r}, "
+            f"reader supports {expected!r}"
+        )
+    if major != expected_major:
+        raise SchemaError(
+            f"schema major-version mismatch: document is "
+            f"{document['schema']!r}, reader supports {expected!r}"
+        )

@@ -22,6 +22,7 @@ import math
 import time
 from pathlib import Path
 
+from repro.analysis.schema import validate_schema
 from repro.bench.suites import SUITES, BenchSuite, prepare_models
 from repro.sim.config import DuetConfig
 
@@ -192,6 +193,7 @@ def run_bench(
         ),
         "all_equivalent": all(r["equivalent"] for r in records),
     }
+    validate_schema(document, BENCH_SCHEMA)
     if output is not None:
         Path(output).write_text(json.dumps(document, indent=2) + "\n")
     return document

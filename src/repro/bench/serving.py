@@ -28,6 +28,7 @@ import json
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.analysis.schema import validate_schema
 from repro.serving.admission import AdmissionConfig
 from repro.serving.batcher import BatchPolicy
 from repro.serving.loadgen import ARRIVAL_PROCESSES, TraceConfig
@@ -258,6 +259,7 @@ def run_serving_bench(
             "speedup": batched / batch1 if batch1 else None,
         },
     }
+    validate_schema(document, SERVE_SCHEMA)
     if output is not None:
         Path(output).write_text(json.dumps(document, indent=2) + "\n")
     return document

@@ -15,6 +15,8 @@ Commands:
   arrival trace and print the SLO report.
 - ``loadgen``               run the serving scenario campaign and write
   ``BENCH_serving.json``.
+- ``lint``                  run duetlint, the project-specific static
+  analysis (exit 0 clean, 1 findings, 2 usage error).
 
 Every command prints a plain-text table; all simulations are seeded and
 deterministic.  Usage errors (unknown model, incompatible flags) exit
@@ -26,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.cli import cmd_lint, configure_parser as configure_lint_parser
 from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
 from repro.bench import SUITES, run_bench, run_serving_bench
 from repro.models import MODEL_REGISTRY, get_model_spec
@@ -201,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_serving.json",
         help="result path (default BENCH_serving.json at the repo root)",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run duetlint, the project-specific static analysis",
+    )
+    configure_lint_parser(p_lint)
     return parser
 
 
@@ -466,6 +475,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "lint": cmd_lint,
 }
 
 

@@ -19,6 +19,7 @@ mapping), integrated input+output switching (IOS), and full DUET
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 __all__ = ["DuetConfig", "stage_config", "STAGES"]
@@ -114,6 +115,11 @@ class DuetConfig:
                 raise ValueError(
                     f"DuetConfig.{name} must be positive, got {value!r}"
                 )
+        if not (self.clock_hz > 0 and math.isfinite(self.clock_hz)):
+            raise ValueError(
+                f"DuetConfig.clock_hz must be a positive finite frequency, "
+                f"got {self.clock_hz!r}"
+            )
         # the PE/systolic arrays, the NoC multicast (row, col) ID scheme and
         # the power-of-two channel-tile sweep of repro.sim.tiling all assume
         # power-of-two array geometry

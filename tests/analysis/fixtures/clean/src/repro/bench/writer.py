@@ -1,0 +1,19 @@
+"""SCH001 negative fixture: named constant + boundary validation."""
+
+import json
+
+from repro.analysis.schema import validate_schema
+
+REPORT_SCHEMA = "duet-report/1"
+
+
+def write_report(path, rows):
+    document = {"schema": REPORT_SCHEMA, "rows": rows}
+    validate_schema(document, REPORT_SCHEMA)
+    path.write_text(json.dumps(document))
+
+
+def read_report(path):
+    document = json.loads(path.read_text())
+    validate_schema(document, REPORT_SCHEMA)
+    return document["rows"]

@@ -1,0 +1,12 @@
+"""CLI001 negative fixture: the shared exit/stderr helpers."""
+
+
+class CliError(Exception):
+    """Usage error reported as ``error: <msg>`` with exit status 2."""
+
+
+def cmd_run(args, out) -> int:
+    if not args:
+        raise CliError("no arguments")
+    out.write("done\n")
+    return 0

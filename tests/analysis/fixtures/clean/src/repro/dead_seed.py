@@ -1,0 +1,13 @@
+"""DET002 negative fixture: the seed parameter is threaded."""
+
+import numpy as np
+
+
+def sample(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def forward(self, x, seed=None):
+    """Stub bodies are exempt: protocols may declare seed without a body."""
+    raise NotImplementedError

@@ -1,0 +1,12 @@
+"""DET001 negative fixture: seeded-Generator plumbing is allowed."""
+
+import numpy as np
+
+
+def sample_noise(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def pick_index(rng: np.random.Generator, n):
+    return int(rng.integers(0, n))

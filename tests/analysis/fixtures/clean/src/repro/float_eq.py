@@ -1,0 +1,15 @@
+"""NUM001 negative fixture: allclose, integer equality, zero sentinels."""
+
+import numpy as np
+
+
+def ratios_match(a, b, c, d):
+    return np.allclose(a / b, c / d)
+
+
+def counts_match(executed, expected):
+    return executed == expected  # integers: exact equality is the contract
+
+
+def is_unset(fraction):
+    return fraction == 0.0  # literal-zero sentinel: exempt by design

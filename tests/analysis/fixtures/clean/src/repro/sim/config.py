@@ -1,0 +1,15 @@
+"""CFG001 negative fixture: every field validated and documented."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DuetConfig:
+    glb_bytes: int = 1024
+    dram_bandwidth: int = 32
+    enable_pipeline: bool = True
+
+    def __post_init__(self):
+        for name in ("glb_bytes", "dram_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"DuetConfig.{name} must be positive")

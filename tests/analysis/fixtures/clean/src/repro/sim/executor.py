@@ -1,0 +1,20 @@
+"""PAR001 negative fixture: fast kernel + oracle + equivalence test."""
+
+
+class TileModel:
+    def __init__(self, config):
+        self.config = config
+
+    def tile_cost(self, workload):
+        if self.config.fast_path:
+            return self._tile_fast(workload)
+        return self._tile_reference(workload)
+
+    def _tile_fast(self, workload):
+        return sum(workload)
+
+    def _tile_reference(self, workload):
+        total = 0
+        for item in workload:
+            total += item
+        return total

@@ -1,0 +1,16 @@
+"""EXC001 negative fixture: narrow excepts, handled broad excepts."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+
+def guarded(fn, log):
+    try:
+        return fn()
+    except Exception as exc:  # broad but *handled*: logged and re-raised
+        log.append(repr(exc))
+        raise

@@ -1,0 +1,15 @@
+"""SCH001 positive fixture: schema-string violations, all three kinds."""
+
+import json
+
+BAD_SCHEMA = "NotAValidSchema"  # SCH001: does not match name/major
+
+
+def write_report(path, rows):
+    document = {
+        "schema": "duet-report/1",  # SCH001: inline literal, not a constant
+        "rows": rows,
+    }
+    # module declares a *_SCHEMA constant and writes JSON but never calls
+    # validate_schema: SCH001 (module-level finding)
+    path.write_text(json.dumps(document))

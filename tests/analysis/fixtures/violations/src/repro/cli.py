@@ -1,0 +1,10 @@
+"""CLI001 positive fixture: ad-hoc printing and string exits."""
+
+import sys
+
+
+def cmd_run(args):
+    if not args:
+        print("nothing to do")  # CLI001: print in a CLI module
+        sys.exit("error: no arguments")  # CLI001: sys.exit(str) exits 1
+    return 0

@@ -1,0 +1,6 @@
+"""DET002 positive fixture: a seed parameter that is never threaded."""
+
+
+def sample(n, seed=0):
+    # 'seed' dies here: the caller believes the run is pinned
+    return list(range(n))

@@ -1,0 +1,18 @@
+"""DET001 positive fixture: ambient entropy (global RNG + wall clock)."""
+
+import time
+from random import randint
+
+import numpy as np
+
+
+def sample_noise(n):
+    return np.random.rand(n)  # global NumPy RNG: DET001
+
+
+def pick_index(n):
+    return randint(0, n - 1)  # global stdlib RNG: DET001
+
+
+def stamp():
+    return time.time()  # wall clock outside repro.bench: DET001

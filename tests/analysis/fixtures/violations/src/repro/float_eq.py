@@ -1,0 +1,9 @@
+"""NUM001 positive fixture: exact equality on computed floats."""
+
+
+def ratios_match(a, b, c, d):
+    return a / b == c / d  # NUM001: float == on two divisions
+
+
+def is_half(x):
+    return x == 0.5  # NUM001: equality against a nonzero float literal

@@ -1,0 +1,14 @@
+"""CFG001 positive fixture: an unvalidated, undocumented config field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DuetConfig:
+    glb_bytes: int = 1024  # CFG001: validated below but not documented
+    dram_bandwidth: int = 32  # CFG001: neither validated nor documented
+    enable_pipeline: bool = True  # bool: exempt from validation, documented
+
+    def __post_init__(self):
+        if self.glb_bytes <= 0:
+            raise ValueError("glb_bytes must be positive")

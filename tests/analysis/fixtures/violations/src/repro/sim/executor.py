@@ -1,0 +1,14 @@
+"""PAR001 positive fixture: a fast kernel with no oracle and no test."""
+
+
+class TileModel:
+    def __init__(self, config):
+        self.config = config
+
+    def tile_cost(self, workload):
+        if self.config.fast_path:
+            return self._tile_fast(workload)  # PAR001: no counterpart/test
+        raise NotImplementedError("reference path was deleted")
+
+    def _tile_fast(self, workload):
+        return sum(workload)

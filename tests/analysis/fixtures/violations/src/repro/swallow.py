@@ -1,0 +1,16 @@
+"""EXC001 positive fixture: bare except and a swallowed broad except."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722 -- deliberate: EXC001 bare except
+        return None
+
+
+def cleanup(resources):
+    for resource in resources:
+        try:
+            resource.close()
+        except Exception:  # EXC001: swallowed broad except
+            pass

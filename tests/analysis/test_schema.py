@@ -1,0 +1,71 @@
+"""Schema parsing/validation units and the committed documents that use it."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.schema import SchemaError, parse_schema, validate_schema
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestParseSchema:
+    def test_name_and_major(self):
+        assert parse_schema("duet-bench/1") == ("duet-bench", 1)
+        assert parse_schema("duetlint/12") == ("duetlint", 12)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "NotAValidSchema",
+            "duet-bench",
+            "duet-bench/",
+            "/1",
+            "Duet-Bench/1",
+            "duet bench/1",
+            "duet-bench/1.0",
+            "duet-bench/v1",
+            "",
+        ],
+    )
+    def test_malformed_identifiers_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            parse_schema(bad)
+
+    def test_schema_error_is_value_error(self):
+        """CLI layers catch ValueError for exit 2; SchemaError must qualify."""
+        assert issubclass(SchemaError, ValueError)
+
+
+class TestValidateSchema:
+    def test_matching_document_passes(self):
+        validate_schema({"schema": "duet-bench/1", "x": 1}, "duet-bench/1")
+
+    def test_missing_schema_key(self):
+        with pytest.raises(SchemaError, match="schema"):
+            validate_schema({"x": 1}, "duet-bench/1")
+
+    def test_name_mismatch(self):
+        with pytest.raises(SchemaError):
+            validate_schema({"schema": "duet-serve/1"}, "duet-bench/1")
+
+    def test_major_mismatch(self):
+        with pytest.raises(SchemaError):
+            validate_schema({"schema": "duet-bench/2"}, "duet-bench/1")
+
+
+class TestCommittedDocuments:
+    """Every schema-versioned JSON committed at the repo root validates."""
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("BENCH_duet.json", "duet-bench/1"),
+            ("BENCH_serving.json", "duet-serve/1"),
+            (".duetlint-baseline.json", "duetlint-baseline/1"),
+        ],
+    )
+    def test_document_validates(self, name, expected):
+        document = json.loads((REPO_ROOT / name).read_text())
+        validate_schema(document, expected)

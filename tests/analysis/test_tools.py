@@ -1,0 +1,82 @@
+"""The tools/ scripts honour the repo-wide 0/1/2 exit convention."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_tool(name, *args, cwd=None):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / name), *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+    )
+
+
+class TestCheckLinks:
+    def test_repo_docs_are_clean(self):
+        proc = _run_tool("check_links.py")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_dead_link_exits_one(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](does-not-exist.md)\n")
+        proc = _run_tool("check_links.py", str(doc))
+        assert proc.returncode == 1
+        assert "dead link" in proc.stderr
+
+    def test_missing_input_exits_two(self, tmp_path):
+        proc = _run_tool("check_links.py", str(tmp_path / "absent.md"))
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+
+    def test_links_in_code_fences_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```\n[fake](nope.md)\n```\n")
+        proc = _run_tool("check_links.py", str(doc))
+        assert proc.returncode == 0
+
+
+class TestLintChanged:
+    def test_lintable_filters_to_roots_and_python(self):
+        lint_changed = _load("lint_changed")
+        candidates = [
+            "src/repro/cli.py",          # in-root .py -> kept
+            "tools/check_links.py",      # in-root .py -> kept
+            "tests/test_cli.py",         # tests/ is not a lint root
+            "docs/linting.md",           # not python
+            "src/repro/deleted_file.py", # not on disk
+            "README.md",
+        ]
+        assert lint_changed.lintable(candidates) == [
+            "src/repro/cli.py",
+            "tools/check_links.py",
+        ]
+
+    def test_bad_base_ref_exits_two(self):
+        proc = _run_tool("lint_changed.py", "--base", "no-such-ref-xyz")
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+
+    def test_base_flag_requires_argument(self):
+        proc = _run_tool("lint_changed.py", "--base")
+        assert proc.returncode == 2
+
+
+class TestDuetlintEntry:
+    def test_standalone_script_lints_repo_clean(self):
+        proc = _run_tool("duetlint.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

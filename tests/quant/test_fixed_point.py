@@ -135,6 +135,78 @@ class TestNoisePower:
         assert quantization_noise_power(x, 16) < 1e-7
 
 
+class TestSaturationRails:
+    def test_int4_saturates_at_both_rails(self):
+        t = quantize_linear(np.array([-10.0, 10.0]), bits=4, scale=1.0)
+        np.testing.assert_array_equal(t.values, [-8, 7])
+
+    def test_int8_saturates_at_both_rails(self):
+        t = quantize_linear(np.array([-1000.0, 1000.0]), bits=8, scale=1.0)
+        np.testing.assert_array_equal(t.values, [-128, 127])
+
+    def test_rail_values_are_representable(self):
+        """The exact rail magnitudes quantize without saturation error."""
+        t = quantize_linear(np.array([-8.0, 7.0]), bits=4, scale=1.0)
+        np.testing.assert_array_equal(t.to_float(), [-8.0, 7.0])
+
+    def test_truncation_rails(self):
+        """INT16 extremes land exactly on the INT4 rails: -32768 >> 12 == -8
+        and 32767 >> 12 == 7, with the scale rescaled by 2^12."""
+        t16 = FixedPointTensor(np.array([-32768, 32767]), scale=1.0, bits=16)
+        t4 = truncate_to_int4(t16)
+        np.testing.assert_array_equal(t4.values, [-8, 7])
+        assert t4.scale == 4096.0
+
+    def test_truncation_floors_toward_negative_infinity(self):
+        """Arithmetic shift, not round-toward-zero: -4097 >> 12 == -2
+        while 4097 >> 12 == 1."""
+        t16 = FixedPointTensor(np.array([-4097, 4097, -4096, 4096]), 1.0, 16)
+        np.testing.assert_array_equal(truncate_to_int4(t16).values, [-2, 1, -1, 1])
+
+
+class TestRoundingTies:
+    def test_half_integer_ties_round_to_even(self):
+        """np.rint uses banker's rounding: .5 ties go to the even integer."""
+        x = np.array([0.5, 1.5, 2.5, -0.5, -1.5, -2.5])
+        t = quantize_linear(x, bits=8, scale=1.0)
+        np.testing.assert_array_equal(t.values, [0, 2, 2, 0, -2, -2])
+
+    def test_ties_at_fractional_scale(self):
+        """Ties are relative to the scale grid, not the integers."""
+        t = quantize_linear(np.array([0.25, 0.75]), bits=8, scale=0.5)
+        np.testing.assert_array_equal(t.values, [0, 2])
+
+    def test_near_ties_round_to_nearest(self):
+        t = quantize_linear(np.array([1.4999, 1.5001]), bits=8, scale=1.0)
+        np.testing.assert_array_equal(t.values, [1, 2])
+
+
+class TestTernaryRoundTrip:
+    """INT4 handling of ternary {-1, 0, +1} weights (the QDR extreme)."""
+
+    def test_unit_scale_round_trip_is_exact(self):
+        x = np.array([-1.0, 0.0, 1.0, 1.0, -1.0, 0.0])
+        t = quantize_linear(x, bits=4, scale=1.0)
+        np.testing.assert_array_equal(t.values, [-1, 0, 1, 1, -1, 0])
+        np.testing.assert_array_equal(t.to_float(), x)
+
+    def test_auto_scale_requantize_is_stable(self):
+        """Quantize -> dequantize -> quantize is a fixed point: the second
+        pass reproduces the first payload exactly."""
+        x = np.array([-1.0, 0.0, 1.0])
+        first = quantize_linear(x, bits=4)
+        second = quantize_linear(first.to_float(), bits=4)
+        np.testing.assert_array_equal(first.values, second.values)
+        np.testing.assert_allclose(second.to_float(), first.to_float())
+
+    def test_ternary_survives_truncation(self):
+        """Ternary at INT16 scale 4096 truncates to the same ternary INT4."""
+        t16 = FixedPointTensor(np.array([-4096, 0, 4096]), scale=1.0, bits=16)
+        t4 = truncate_to_int4(t16)
+        np.testing.assert_array_equal(t4.values, [-1, 0, 1])
+        np.testing.assert_array_equal(t4.to_float(), t16.to_float())
+
+
 class TestSubnormalInputs:
     def test_subnormal_tensor_quantizes_to_zero(self):
         """Regression: subnormal magnitudes underflowed the auto-scale to

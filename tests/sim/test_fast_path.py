@@ -266,3 +266,64 @@ class TestBenchHarness:
         assert cli.main(["bench", "--list"]) == 0
         listing = capsys.readouterr().out
         assert "fig11a_overall" in listing
+
+
+class TestFunctionalFastPath:
+    """Batched ``run_conv`` vs its per-event slow path (PAR001 coverage)."""
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(1, 3),  # C_in
+        st.integers(1, 8),  # C_out
+        st.sampled_from([1, 3]),  # kernel
+        st.floats(0.1, 0.9),  # omap density
+        st.booleans(),  # with imap
+        st.integers(0, 10_000),
+    )
+    def test_run_conv_matches_slow_path(
+        self, c_in, c_out, kernel, p, with_imap, seed
+    ):
+        from repro.sim.functional import FunctionalExecutorArray
+
+        rng = np.random.default_rng(seed)
+        hw = 6
+        x = rng.standard_normal((c_in, hw, hw))
+        weight = rng.standard_normal((c_out, c_in, kernel, kernel))
+        omap = (rng.random((c_out, hw, hw)) < p).astype(np.uint8)
+        imap = (
+            (rng.random((c_in, hw, hw)) < 0.7).astype(np.uint8)
+            if with_imap
+            else None
+        )
+        kwargs = dict(imap=imap, stride=1, padding=kernel // 2)
+        fast = FunctionalExecutorArray(
+            DuetConfig(executor_rows=4, executor_cols=4, fast_path=True)
+        ).run_conv(x, weight, omap, **kwargs)
+        slow = FunctionalExecutorArray(
+            DuetConfig(executor_rows=4, executor_cols=4, fast_path=False)
+        ).run_conv(x, weight, omap, **kwargs)
+        assert fast.total_cycles == slow.total_cycles
+        assert fast.macs_executed == slow.macs_executed
+        assert fast.macs_skipped == slow.macs_skipped
+        np.testing.assert_array_equal(fast.row_cycles, slow.row_cycles)
+        np.testing.assert_allclose(fast.output, slow.output, atol=1e-9)
+
+
+class TestTilingFastPath:
+    """``choose_tiling_cached`` (the fast-path entry used by the CNN
+    pipeline's ``_conv_costs``) vs the uncached search."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(conv_shapes, st.sampled_from([1 << 14, 1 << 17, 1 << 20]))
+    def test_cached_tiling_identical(self, shape, glb_bytes):
+        from repro.sim.tiling import choose_tiling, choose_tiling_cached
+
+        c_in, c_out, k, hw = shape
+        spec = ConvSpec("c", c_in, c_out, k, 1, k // 2, hw, hw)
+        assert choose_tiling_cached(spec, glb_bytes) == choose_tiling(
+            spec, glb_bytes
+        )
+        # a second cached call must return the same (shared) choice
+        assert choose_tiling_cached(spec, glb_bytes) == choose_tiling(
+            spec, glb_bytes
+        )

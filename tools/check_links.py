@@ -8,7 +8,10 @@ External links (``http(s)://``, ``mailto:``) and pure in-page anchors
 (``#section``) are skipped.
 
 Usage: ``python tools/check_links.py [files...]`` (defaults to README.md
-and docs/*.md from the repo root). Exits 1 listing every dead link.
+and docs/*.md from the repo root). Follows the repo-wide exit
+convention (enforced by duetlint's CLI001): 0 when every link resolves,
+1 listing every dead link, 2 on internal errors (a named file that does
+not exist or cannot be read).
 """
 
 from __future__ import annotations
@@ -60,9 +63,13 @@ def main(argv: list[str]) -> int:
     for path in files:
         if not path.is_file():
             print(f"error: no such file {path}", file=sys.stderr)
-            failures += 1
-            continue
-        for target in dead_links(path):
+            return 2
+        try:
+            targets = dead_links(path)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        for target in targets:
             print(f"{path}: dead link -> {target}", file=sys.stderr)
             failures += 1
     if failures:

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Standalone console entry for duetlint.
+
+Equivalent to ``python -m repro lint`` but runnable without installing
+the package or exporting ``PYTHONPATH`` -- it bootstraps ``src/`` onto
+``sys.path`` relative to this file and defaults ``--root`` to the repo
+root.  Exit convention: 0 clean, 1 findings, 2 usage/internal error.
+
+Usage: ``python tools/duetlint.py [paths...] [--format=text|json] ...``
+(see ``python tools/duetlint.py --help`` for the full option set).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--root" not in argv and not any(a.startswith("--root=") for a in argv):
+        argv = ["--root", str(_REPO_ROOT), *argv]
+    raise SystemExit(main(argv))
