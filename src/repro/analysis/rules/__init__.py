@@ -132,5 +132,6 @@ from repro.analysis.rules import (  # noqa: E402,F401
     conventions,
     determinism,
     numerics,
+    parallelism,
     parity,
 )

@@ -1,0 +1,112 @@
+"""Parallelism rule: PAR002 (worker RNGs derive from SeedSequence.spawn).
+
+The parallel campaign engine's determinism contract (``--jobs 1`` and
+``--jobs N`` produce byte-identical documents) only holds when every
+worker-side RNG descends from the root seed through
+``numpy.random.SeedSequence.spawn`` -- the one construction NumPy
+guarantees gives statistically independent, index-stable child streams.
+The two classic mistakes both pass tests on one machine and then diverge
+across worker counts:
+
+- an *unseeded* ``default_rng()`` in a worker draws from OS entropy, so
+  every run differs;
+- *parent-seed reuse* (``default_rng(seed)`` in each worker) makes all
+  workers draw the identical stream, silently correlating shards.
+
+PAR002 therefore inspects every module that imports
+``concurrent.futures`` or ``multiprocessing`` and flags unseeded RNG
+construction, plus seeded RNG construction in modules that never touch
+``SeedSequence(...).spawn(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ParsedModule, Project
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, register, resolve_target
+
+#: top-level modules whose import marks a file as parallel code.
+_PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
+
+#: resolved call targets that construct an RNG stream.
+_RNG_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.Generator"}
+
+
+def _imports_parallelism(tree: ast.Module) -> ast.stmt | None:
+    """The first import statement pulling in a parallel-execution module.
+
+    Scans the raw ``ast.Import`` / ``ast.ImportFrom`` nodes rather than
+    :class:`~repro.analysis.engine.ModuleImports`, which collapses
+    dotted paths (``import concurrent.futures`` binds ``concurrent``).
+    """
+
+    def matches(name: str) -> bool:
+        return any(
+            name == mod or name.startswith(mod + ".")
+            for mod in _PARALLEL_MODULES
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(matches(alias.name) for alias in node.names):
+                return node
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and matches(node.module):
+                return node
+    return None
+
+
+@register
+class WorkerSeedRule(Rule):
+    """PAR002: parallel modules derive worker RNGs via SeedSequence.spawn."""
+
+    code = "PAR002"
+    title = "worker RNGs must descend from SeedSequence.spawn"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/")
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        import_node = _imports_parallelism(module.tree)
+        if import_node is None:
+            return
+
+        seeded_rng_calls: list[ast.Call] = []
+        has_seed_sequence = False
+        has_spawn_call = False
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "spawn":
+                has_spawn_call = True
+            target = resolve_target(module, func)
+            if target is None:
+                continue
+            if target.endswith(".SeedSequence") or target == "SeedSequence":
+                has_seed_sequence = True
+            elif target in _RNG_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unseeded {dotted_name(func)}() in a module that "
+                        "spawns workers draws OS entropy: seed it from a "
+                        "SeedSequence.spawn child so shards replay "
+                        "identically for any --jobs value",
+                    )
+                else:
+                    seeded_rng_calls.append(node)
+
+        if seeded_rng_calls and not (has_seed_sequence and has_spawn_call):
+            yield self.finding(
+                module,
+                import_node,
+                "module spawns workers and constructs RNGs but never "
+                "derives them via numpy.random.SeedSequence(...).spawn(...): "
+                "reusing one parent seed across workers correlates their "
+                "streams (see repro.parallel.spawn_task_seeds)",
+            )

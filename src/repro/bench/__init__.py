@@ -1,6 +1,8 @@
 """Unified repro bench harness (``python -m repro bench`` / ``loadgen``).
 
-Two machine-readable bench reports:
+Three machine-readable bench reports, all sharded across worker
+processes by :mod:`repro.parallel` (``--jobs N``) with byte-identical
+simulated results for any worker count:
 
 - ``BENCH_duet.json`` (``python -m repro bench``): times the simulator's
   vectorized fast path against the per-event slow path (the reference
@@ -8,6 +10,9 @@ Two machine-readable bench reports:
 - ``BENCH_serving.json`` (``python -m repro loadgen``): the serving-tier
   SLO campaign -- nominal / overload / batching-capacity scenarios over
   seeded arrival traces (:mod:`repro.bench.serving`).
+- ``BENCH_faults.json`` (``python -m repro faults``, no ``--model``):
+  the reliability campaign grid with its invariant verdicts
+  (:mod:`repro.bench.faults`).
 
 Modules:
 
@@ -16,12 +21,17 @@ Modules:
 - :mod:`repro.bench.harness` -- discovery, warmup/repeat timing,
   fast-vs-slow equivalence checking, and JSON emission.
 - :mod:`repro.bench.serving` -- the serving scenario campaign.
+- :mod:`repro.bench.faults` -- the sharded fault-matrix campaign.
+- :mod:`repro.bench.document` -- determinism views, ``perf`` blocks,
+  cross-run ``history``, atomic emission.
 
 See ``docs/performance.md`` for how to run the timing harness,
 ``docs/serving.md`` for the serving campaign, and ``docs/benchmarks.md``
 for the paper-figure mapping of every bench file.
 """
 
+from repro.bench.document import deterministic_view
+from repro.bench.faults import FAULTS_SCHEMA, fault_matrix, run_fault_matrix
 from repro.bench.harness import (
     BENCH_SCHEMA,
     discover_bench_files,
@@ -34,11 +44,15 @@ from repro.bench.suites import SUITES, BenchSuite, suite_names
 __all__ = [
     "BENCH_SCHEMA",
     "BenchSuite",
+    "FAULTS_SCHEMA",
     "SERVE_SCHEMA",
     "SUITES",
     "suite_names",
+    "deterministic_view",
     "discover_bench_files",
+    "fault_matrix",
     "run_bench",
+    "run_fault_matrix",
     "run_serving_bench",
     "run_suite",
     "serve_scenarios",

@@ -17,13 +17,20 @@ energy and utilisation counter identical).  Results land in
 
 from __future__ import annotations
 
-import json
 import math
 import time
 from pathlib import Path
 
-from repro.analysis.schema import validate_schema
+from repro.bench.document import (
+    append_history,
+    deterministic_view,
+    history_entry,
+    perf_block,
+    write_document,
+)
 from repro.bench.suites import SUITES, BenchSuite, prepare_models
+from repro.core.cache import cache_stats
+from repro.parallel import CampaignTask, run_sharded
 from repro.sim.config import DuetConfig
 
 __all__ = [
@@ -128,6 +135,11 @@ def run_suite(
     return record
 
 
+def _suite_task(name: str, smoke: bool, warmup: int, repeat: int) -> dict:
+    """One suite as a sharded task (top-level so workers can pickle it)."""
+    return run_suite(SUITES[name], smoke=smoke, warmup=warmup, repeat=repeat)
+
+
 def _select_suites(suite_names, smoke: bool) -> list[BenchSuite]:
     if suite_names:
         unknown = sorted(set(suite_names) - set(SUITES))
@@ -150,6 +162,8 @@ def run_bench(
     output: str | Path | None = "BENCH_duet.json",
     bench_dir: str | Path = "benchmarks",
     progress=None,
+    jobs: int = 1,
+    with_perf: bool = True,
 ) -> dict:
     """Run the selected suites and (optionally) write ``BENCH_duet.json``.
 
@@ -161,18 +175,41 @@ def run_bench(
         output: JSON path, or ``None`` to skip writing.
         bench_dir: directory scanned for ``bench_*.py`` discovery.
         progress: optional callable invoked with each finished suite
-            record (the CLI uses this to stream a results table).
+            record in suite order, once the shard completes (the CLI
+            uses this to stream a results table).
+        jobs: worker processes; suites shard across them via
+            :mod:`repro.parallel` and merge in suite order, so the
+            document's simulated quantities are identical for any value.
+        with_perf: record the ``perf`` block and ``history`` trail.
+            ``False`` (the CLI's ``--no-perf``) emits the
+            :func:`~repro.bench.document.deterministic_view` instead --
+            wall clocks stripped everywhere -- so documents from
+            different worker counts or machines compare byte-identical.
 
     Returns:
         The full ``duet-bench/1`` document (also written to ``output``).
     """
     selected = _select_suites(suite_names, smoke)
-    records = []
-    for suite in selected:
-        record = run_suite(suite, smoke=smoke, warmup=warmup, repeat=repeat)
-        if progress is not None:
+    tasks = [
+        CampaignTask(
+            index=i,
+            fn=_suite_task,
+            kwargs={
+                "name": suite.name,
+                "smoke": smoke,
+                "warmup": warmup,
+                "repeat": repeat,
+            },
+        )
+        for i, suite in enumerate(selected)
+    ]
+    run = run_sharded(
+        tasks, jobs=jobs, clock=time.perf_counter, stats=cache_stats
+    )
+    records = run.results
+    if progress is not None:
+        for record in records:
             progress(record)
-        records.append(record)
     discovered = discover_bench_files(bench_dir)
     timed_files = {s.bench_file for s in SUITES.values()}
     speedups = [r["speedup_vs_slow_path"] for r in records]
@@ -193,7 +230,26 @@ def run_bench(
         ),
         "all_equivalent": all(r["equivalent"] for r in records),
     }
-    validate_schema(document, BENCH_SCHEMA)
+    if with_perf:
+        perf = perf_block(run)
+        document["perf"] = perf
+        append_history(
+            document,
+            output,
+            BENCH_SCHEMA,
+            {
+                **history_entry(
+                    document,
+                    ("smoke", "geomean_speedup_vs_slow_path", "all_equivalent"),
+                ),
+                "jobs": perf["jobs"],
+                "wall_s": perf["wall_s"],
+                "worker_efficiency": perf["worker_efficiency"],
+                "speedup_vs_serial_est": perf["speedup_vs_serial_est"],
+            },
+        )
+    else:
+        document = deterministic_view(document)
     if output is not None:
-        Path(output).write_text(json.dumps(document, indent=2) + "\n")
+        write_document(document, output, BENCH_SCHEMA)
     return document

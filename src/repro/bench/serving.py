@@ -17,18 +17,31 @@ front end (:mod:`repro.serving`) and emits a machine-readable
   The headline ``batching.speedup`` is their ratio (regression floor:
   >= 2x, ``tests/serving/test_bench.py``).
 
-The document contains **simulated quantities only** -- no wall clocks --
-so a given ``(seed, scale, flags)`` always produces byte-identical JSON,
-on the fast path and the slow-path oracle alike.
+Every **simulated** quantity in the document is a pure function of
+``(seed, scale, flags)`` -- identical on the fast path and the slow-path
+oracle, and for any ``--jobs`` value.  The only non-deterministic parts
+are the ``perf`` block (wall clock, worker efficiency, cache counters)
+and the cross-run ``history`` trail, both excluded from the determinism
+contract (:func:`repro.bench.document.deterministic_view`) and omitted
+entirely under ``--no-perf``, where the file is byte-identical across
+runs and worker counts.
 """
 
 from __future__ import annotations
 
-import json
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.analysis.schema import validate_schema
+from repro.bench.document import (
+    append_history,
+    deterministic_view,
+    history_entry,
+    perf_block,
+    write_document,
+)
+from repro.core.cache import cache_stats
+from repro.parallel import CampaignTask, run_sharded
 from repro.serving.admission import AdmissionConfig
 from repro.serving.batcher import BatchPolicy
 from repro.serving.loadgen import ARRIVAL_PROCESSES, TraceConfig
@@ -183,6 +196,34 @@ def _server_record(server: ServerConfig) -> dict:
     }
 
 
+def _scenario_task(name: str, params: dict) -> dict:
+    """Simulate one named scenario of the campaign (sharded task).
+
+    Rebuilds the scenario list from the campaign parameters inside the
+    worker -- scenario construction is cheap and pure, and shipping
+    plain parameters keeps the task kwargs trivially picklable.
+    """
+    scenario = next(
+        s for s in serve_scenarios(**params) if s.name == name
+    )
+    result = simulate_serving(scenario.trace, config=scenario.server)
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "requests": scenario.trace.n_requests,
+        "rate_rps": scenario.trace.rate_rps,
+        "arrival": scenario.trace.arrival,
+        "models": list(scenario.trace.models),
+        "trace_seed": scenario.trace.seed,
+        "server": _server_record(scenario.server),
+        "max_queue_depth_seen": result.max_queue_depth,
+        "simulated_ms": result.simulated_cycles
+        / scenario.server.hardware.clock_hz
+        * 1e3,
+        "summary": result.summary.as_dict(),
+    }
+
+
 def run_serving_bench(
     smoke: bool = False,
     seed: int = 0,
@@ -193,6 +234,8 @@ def run_serving_bench(
     fast_path: bool = True,
     output: str | Path | None = "BENCH_serving.json",
     progress=None,
+    jobs: int = 1,
+    with_perf: bool = True,
 ) -> dict:
     """Run the campaign and (optionally) write ``BENCH_serving.json``.
 
@@ -201,43 +244,46 @@ def run_serving_bench(
             see :func:`serve_scenarios`.
         output: JSON path, or None to skip writing.
         progress: optional callable invoked with each finished scenario
-            record (the CLI streams a table through this).
+            record in scenario order, once the shard completes (the CLI
+            streams a table through this).
+        jobs: worker processes; scenarios shard across them via
+            :mod:`repro.parallel` and merge in scenario order, so the
+            simulated quantities are identical for any value.
+        with_perf: record the ``perf`` block and ``history`` trail;
+            ``False`` (the CLI's ``--no-perf``) emits the
+            :func:`~repro.bench.document.deterministic_view` so
+            documents from different worker counts compare
+            byte-identical.
 
     Returns:
         The full ``duet-serve/1`` document (also written to ``output``).
     """
-    scenarios = serve_scenarios(
-        smoke=smoke,
-        seed=seed,
-        workers=workers,
-        max_batch=max_batch,
-        arrival=arrival,
-        scale=scale,
-        fast_path=fast_path,
+    params = {
+        "smoke": smoke,
+        "seed": seed,
+        "workers": workers,
+        "max_batch": max_batch,
+        "arrival": arrival,
+        "scale": scale,
+        "fast_path": fast_path,
+    }
+    scenarios = serve_scenarios(**params)
+    tasks = [
+        CampaignTask(
+            index=i,
+            fn=_scenario_task,
+            kwargs={"name": scenario.name, "params": params},
+        )
+        for i, scenario in enumerate(scenarios)
+    ]
+    run = run_sharded(
+        tasks, jobs=jobs, clock=time.perf_counter, stats=cache_stats
     )
-    records = []
-    by_name = {}
-    for scenario in scenarios:
-        result = simulate_serving(scenario.trace, config=scenario.server)
-        record = {
-            "name": scenario.name,
-            "description": scenario.description,
-            "requests": scenario.trace.n_requests,
-            "rate_rps": scenario.trace.rate_rps,
-            "arrival": scenario.trace.arrival,
-            "models": list(scenario.trace.models),
-            "trace_seed": scenario.trace.seed,
-            "server": _server_record(scenario.server),
-            "max_queue_depth_seen": result.max_queue_depth,
-            "simulated_ms": result.simulated_cycles
-            / scenario.server.hardware.clock_hz
-            * 1e3,
-            "summary": result.summary.as_dict(),
-        }
-        if progress is not None:
+    records = run.results
+    if progress is not None:
+        for record in records:
             progress(record)
-        records.append(record)
-        by_name[scenario.name] = record
+    by_name = {record["name"]: record for record in records}
 
     batch1 = by_name["capacity_batch1"]["summary"]["throughput_rps"]
     batched = by_name["capacity_batched"]["summary"]["throughput_rps"]
@@ -259,7 +305,24 @@ def run_serving_bench(
             "speedup": batched / batch1 if batch1 else None,
         },
     }
-    validate_schema(document, SERVE_SCHEMA)
+    if with_perf:
+        perf = perf_block(run)
+        document["perf"] = perf
+        append_history(
+            document,
+            output,
+            SERVE_SCHEMA,
+            {
+                **history_entry(document, ("smoke", "requests_offered")),
+                "batching_speedup": document["batching"]["speedup"],
+                "jobs": perf["jobs"],
+                "wall_s": perf["wall_s"],
+                "worker_efficiency": perf["worker_efficiency"],
+                "speedup_vs_serial_est": perf["speedup_vs_serial_est"],
+            },
+        )
+    else:
+        document = deterministic_view(document)
     if output is not None:
-        Path(output).write_text(json.dumps(document, indent=2) + "\n")
+        write_document(document, output, SERVE_SCHEMA)
     return document

@@ -7,8 +7,9 @@ Commands:
 - ``stages``                the OS/BOS/IOS/DUET technique breakdown.
 - ``compare``               DUET vs the SOTA comparison accelerators.
 - ``area``                  the Table-I area breakdown.
-- ``faults``                run a fault campaign and print the
-  degradation report.
+- ``faults``                run one fault campaign (``--model``) and
+  print the degradation report, or the whole sharded campaign matrix
+  (no ``--model``) and write ``BENCH_faults.json``.
 - ``bench``                 time the fast path against the slow-path
   oracle and write ``BENCH_duet.json``.
 - ``serve``                 simulate the serving front end on one seeded
@@ -30,7 +31,7 @@ import sys
 
 from repro.analysis.cli import cmd_lint, configure_parser as configure_lint_parser
 from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
-from repro.bench import SUITES, run_bench, run_serving_bench
+from repro.bench import SUITES, run_bench, run_fault_matrix, run_serving_bench
 from repro.models import MODEL_REGISTRY, get_model_spec
 from repro.reliability import CAMPAIGNS, GuardSettings, run_fault_campaign
 from repro.reporting import format_percent
@@ -83,14 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("area", help="Table-I area breakdown")
 
     p_faults = sub.add_parser(
-        "faults", help="run a fault campaign and print the degradation report"
+        "faults",
+        help=(
+            "run one fault campaign (--model) or the whole sharded "
+            "matrix (no --model), writing BENCH_faults.json"
+        ),
     )
-    p_faults.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    p_faults.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY), default=None,
+        help="single-campaign mode: the model to run (omit for the matrix)",
+    )
     p_faults.add_argument(
         "--campaign",
         default="smoke",
         choices=sorted(CAMPAIGNS),
-        help="built-in fault campaign to apply",
+        help="built-in fault campaign to apply (single-campaign mode)",
     )
     p_faults.add_argument("--seed", type=int, default=0, help="campaign seed")
     p_faults.add_argument(
@@ -100,6 +108,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument(
         "--no-guards", action="store_true",
         help="disable the online guards (show the unprotected failure mode)",
+    )
+    p_faults.add_argument(
+        "--smoke", action="store_true",
+        help="matrix mode: CI-sized grid instead of the full matrix",
+    )
+    p_faults.add_argument(
+        "--jobs", type=int, default=1,
+        help="matrix mode: worker processes (results identical for any N)",
+    )
+    p_faults.add_argument(
+        "--output", default="BENCH_faults.json",
+        help="matrix mode: result path (default BENCH_faults.json)",
+    )
+    p_faults.add_argument(
+        "--no-perf", action="store_true",
+        help=(
+            "matrix mode: omit the wall-clock perf block and history so "
+            "documents compare byte-identical across worker counts"
+        ),
     )
 
     p_bench = sub.add_parser(
@@ -129,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--list", action="store_true", dest="list_suites",
         help="list registered suites and exit",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (simulated results identical for any N)",
+    )
+    p_bench.add_argument(
+        "--no-perf", action="store_true",
+        help=(
+            "omit wall-clock fields, the perf block and history so "
+            "documents compare byte-identical across worker counts"
+        ),
     )
 
     p_serve = sub.add_parser(
@@ -203,6 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--output", default="BENCH_serving.json",
         help="result path (default BENCH_serving.json at the repo root)",
+    )
+    p_load.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (simulated results identical for any N)",
+    )
+    p_load.add_argument(
+        "--no-perf", action="store_true",
+        help=(
+            "omit the wall-clock perf block and history so documents "
+            "compare byte-identical across worker counts"
+        ),
     )
 
     p_lint = sub.add_parser(
@@ -317,14 +366,69 @@ def _cmd_area(_args, out) -> int:
 
 
 def _cmd_faults(args, out) -> int:
-    report = run_fault_campaign(
-        model=args.model,
-        campaign=args.campaign,
-        seed=args.seed,
-        guards=GuardSettings(enabled=not args.no_guards),
-        initial_stage=args.stage,
+    if args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.model is not None:
+        report = run_fault_campaign(
+            model=args.model,
+            campaign=args.campaign,
+            seed=args.seed,
+            guards=GuardSettings(enabled=not args.no_guards),
+            initial_stage=args.stage,
+        )
+        out.write(report.format() + "\n")
+        return 0
+    if args.no_guards:
+        raise CliError(
+            "--no-guards needs --model; the matrix runs guarded and "
+            "unguarded arms itself"
+        )
+    out.write(
+        f"{'model':>10s} {'campaign':>16s} {'guards':>6s} {'stage':>6s} "
+        f"{'events':>6s} {'retries':>8s} {'invariant':>9s}\n"
     )
-    out.write(report.format() + "\n")
+
+    def _progress(record):
+        out.write(
+            f"{record['model']:>10s} {record['campaign']:>16s} "
+            f"{'on' if record['guards'] else 'off':>6s} "
+            f"{record['final_stage']:>6s} {record['degradation_events']:6d} "
+            f"{record['dram_retries']:8d} "
+            f"{'PASS' if record['invariant_held'] else 'VIOLATED':>9s}\n"
+        )
+
+    document = run_fault_matrix(
+        smoke=args.smoke,
+        root_seed=args.seed,
+        jobs=args.jobs,
+        output=args.output,
+        with_perf=not args.no_perf,
+        progress=_progress,
+    )
+    agg = document["aggregates"]
+    perf = document.get("perf")
+    if perf is not None:
+        out.write(
+            f"{agg['tasks']} cells in {perf['wall_s']:.2f}s wall "
+            f"({args.jobs} job(s), {perf['worker_efficiency']:.0%} worker "
+            f"efficiency, ~{perf['speedup_vs_serial_est']:.2f}x vs serial "
+            f"est.); results in {args.output}\n"
+        )
+    else:
+        out.write(
+            f"{agg['tasks']} cells; results in {args.output}\n"
+        )
+    if not document["all_guarded_invariants_held"]:
+        raise CliError(
+            f"values-never-corrupted invariant: VIOLATED in "
+            f"{agg['guarded_invariant_violations']} guarded cell(s)"
+        )
+    out.write(
+        f"values-never-corrupted invariant: PASS across "
+        f"{agg['guarded']} guarded cells "
+        f"({agg['unguarded_invariant_violations']}/{agg['unguarded']} "
+        "unguarded foils corrupted, as expected)\n"
+    )
     return 0
 
 
@@ -350,6 +454,8 @@ def _cmd_bench(args, out) -> int:
             f"{record['equivalence']:>13s}\n"
         )
 
+    if args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
     document = run_bench(
         suite_names=args.suite,
         smoke=args.smoke,
@@ -357,12 +463,17 @@ def _cmd_bench(args, out) -> int:
         repeat=args.repeat,
         output=args.output,
         progress=_progress,
+        jobs=args.jobs,
+        with_perf=not args.no_perf,
     )
-    geomean = document["geomean_speedup_vs_slow_path"]
-    out.write(
-        f"geomean speedup {geomean:.1f}x over the slow-path oracle; "
-        f"results in {args.output}\n"
-    )
+    geomean = document.get("geomean_speedup_vs_slow_path")
+    if geomean is not None:
+        out.write(
+            f"geomean speedup {geomean:.1f}x over the slow-path oracle; "
+            f"results in {args.output}\n"
+        )
+    else:
+        out.write(f"results in {args.output}\n")
     if not document["all_equivalent"]:
         raise CliError(
             "fast path diverged from the slow-path oracle "
@@ -437,6 +548,8 @@ def _cmd_loadgen(args, out) -> int:
             f"{summary['degraded']:9d}\n"
         )
 
+    if args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
     document = run_serving_bench(
         smoke=args.smoke,
         seed=args.seed,
@@ -447,6 +560,8 @@ def _cmd_loadgen(args, out) -> int:
         fast_path=not args.slow_path,
         output=args.output,
         progress=_progress,
+        jobs=args.jobs,
+        with_perf=not args.no_perf,
     )
     batching = document["batching"]
     overload = next(

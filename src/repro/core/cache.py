@@ -21,15 +21,33 @@ computed -- caching never changes numerics, it only skips recomputation.
 Cached arrays are stored read-only and shared between hits; callers must
 treat them as immutable (mutation raises ``ValueError``).
 
+Two tiers back the memo:
+
+- an in-process bounded LRU (:class:`MemoCache`), always consulted first;
+- an on-disk content-fingerprint store (:class:`PersistentCache`) shared
+  by every process on the machine -- campaign workers forked by
+  :mod:`repro.parallel` and repeated CLI runs alike.  Disk keys contain
+  *only* content fingerprints and value parameters (never the in-process
+  ``layer`` partition tokens, which are not stable across processes), so
+  a disk hit is exactly the value any process would have computed.
+  Entries live under ``.duet-cache/v1`` (override the root with the
+  ``DUET_CACHE_DIR`` environment variable); the ``v1`` segment is the
+  fingerprint-schema version -- bumping it orphans old entries instead of
+  misreading them.  Writes are atomic (temp file + ``os.replace``) and
+  the store is size-bounded with oldest-first eviction.
+
 Caches are bounded LRU and enabled by default; ``set_cache_enabled(False)``
 restores the uncached behaviour, e.g. for microbenchmarking the raw
-kernels.
+kernels.  The disk tier alone can be disabled with
+``set_disk_cache_enabled(False)`` or ``DUET_CACHE_DISK=0``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
+from pathlib import Path
 from typing import Hashable
 
 import numpy as np
@@ -37,17 +55,31 @@ import numpy as np
 __all__ = [
     "array_fingerprint",
     "MemoCache",
+    "PersistentCache",
     "im2col_cached",
     "switching_map_cached",
     "tune_threshold_cached",
     "set_cache_enabled",
     "caches_enabled",
+    "set_disk_cache_enabled",
+    "disk_cache_enabled",
     "clear_caches",
     "cache_stats",
     "IM2COL_CACHE",
     "SWITCHING_CACHE",
     "THRESHOLD_CACHE",
+    "DISK_CACHE",
 ]
+
+#: version segment of the on-disk store; bump when the fingerprint or
+#: file format changes so stale entries are orphaned, never misread.
+DISK_SCHEMA_VERSION = "v1"
+
+#: environment variable overriding the on-disk store's root directory.
+CACHE_DIR_ENV = "DUET_CACHE_DIR"
+
+#: environment variable disabling the disk tier ("0", "off", "false").
+CACHE_DISK_ENV = "DUET_CACHE_DISK"
 
 
 def array_fingerprint(x: np.ndarray) -> str:
@@ -67,13 +99,13 @@ def array_fingerprint(x: np.ndarray) -> str:
 
 
 class MemoCache:
-    """A bounded LRU memo with hit/miss counters.
+    """A bounded LRU memo with hit/miss/evict counters.
 
     Attributes:
         name: label used in :func:`cache_stats`.
         capacity: maximum number of entries; least-recently-used entries
             are evicted first.
-        hits / misses: lookup counters since the last :meth:`clear`.
+        hits / misses / evictions: counters since the last :meth:`clear`.
     """
 
     def __init__(self, name: str, capacity: int):
@@ -83,6 +115,7 @@ class MemoCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
 
     def __len__(self) -> int:
@@ -105,12 +138,165 @@ class MemoCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: ``{entries, capacity, hits, misses, evictions}``."""
+        return {
+            "entries": len(self),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+
+class PersistentCache:
+    """On-disk content-fingerprint store shared across processes.
+
+    Values are numpy arrays saved with :func:`numpy.save` (pickling
+    disabled) under ``root/<version>/<key digest>.npy``.  Keys must be
+    built from content fingerprints and value parameters only -- never
+    from process-local tokens -- so any process reading a hit gets
+    exactly what it would have computed.  Writes go to a pid-unique
+    temporary file first and land via ``os.replace``, so concurrent
+    workers can race on the same key without ever exposing a torn file
+    (last writer wins with an identical payload).
+
+    Attributes:
+        max_bytes: store size bound; oldest entries (by mtime) are
+            evicted after a put pushes the total over it.
+        hits / misses / evictions: process-local counters.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        max_bytes: int = 256 * 1024 * 1024,
+        version: str = DISK_SCHEMA_VERSION,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self._root = Path(root) if root is not None else None
+        self.max_bytes = max_bytes
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def directory(self) -> Path:
+        """The versioned store directory (honours ``DUET_CACHE_DIR``)."""
+        root = self._root
+        if root is None:
+            root = Path(os.environ.get(CACHE_DIR_ENV) or ".duet-cache")
+        return root / self.version
+
+    @staticmethod
+    def key_digest(*parts) -> str:
+        """Stable digest of a key tuple (reprs hashed with BLAKE2b)."""
+        digest = hashlib.blake2b(digest_size=16)
+        for part in parts:
+            digest.update(repr(part).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npy"
+
+    def get_array(self, key: str) -> np.ndarray | None:
+        """Load the array stored under ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            value = np.load(path, allow_pickle=False)
+        except (FileNotFoundError, OSError, ValueError):
+            # missing, torn by an unclean shutdown, or unreadable: treat
+            # every failure as a miss and let the caller recompute
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:  # freshen mtime so the LRU-ish eviction keeps hot entries
+            os.utime(path)
+        except OSError:
+            pass
+        return value
+
+    def put_array(self, key: str, value: np.ndarray) -> None:
+        """Atomically store ``value`` under ``key``; best-effort on I/O."""
+        directory = self.directory
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            tmp = directory / f"{key}.{os.getpid()}.tmp.npy"
+            with open(tmp, "wb") as handle:
+                np.save(handle, np.ascontiguousarray(value), allow_pickle=False)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            return  # a read-only or full disk must never fail the caller
+        self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        """Drop oldest entries until the store fits ``max_bytes``."""
+        try:
+            entries = [
+                (path.stat().st_mtime, path.stat().st_size, path)
+                for path in self.directory.glob("*.npy")
+                if ".tmp." not in path.name
+            ]
+        except OSError:
+            return
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    def stats(self) -> dict[str, int]:
+        """``{entries, bytes, hits, misses, evictions}`` snapshot."""
+        entries = 0
+        size = 0
+        try:
+            for path in self.directory.glob("*.npy"):
+                if ".tmp." in path.name:
+                    continue
+                entries += 1
+                size += path.stat().st_size
+        except OSError:
+            pass
+        return {
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        """Remove every stored entry and zero the counters."""
+        try:
+            for path in self.directory.glob("*.npy"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
 
 #: Global caches.  im2col buffers are large (a few MB per calibration
@@ -119,8 +305,12 @@ IM2COL_CACHE = MemoCache("im2col", capacity=32)
 SWITCHING_CACHE = MemoCache("switching_map", capacity=256)
 THRESHOLD_CACHE = MemoCache("threshold", capacity=4096)
 
+#: The shared disk tier behind all three memo functions.
+DISK_CACHE = PersistentCache()
+
 _ALL_CACHES = (IM2COL_CACHE, SWITCHING_CACHE, THRESHOLD_CACHE)
 _enabled = True
+_disk_enabled: bool | None = None  # None = consult the environment
 
 
 def set_cache_enabled(enabled: bool) -> None:
@@ -134,28 +324,60 @@ def caches_enabled() -> bool:
     return _enabled
 
 
+def set_disk_cache_enabled(enabled: bool | None) -> None:
+    """Enable/disable the disk tier (``None`` defers to the environment)."""
+    global _disk_enabled
+    _disk_enabled = enabled if enabled is None else bool(enabled)
+
+
+def disk_cache_enabled() -> bool:
+    """Whether the disk tier is active (memo caches must be on too)."""
+    if not _enabled:
+        return False
+    if _disk_enabled is not None:
+        return _disk_enabled
+    flag = os.environ.get(CACHE_DISK_ENV, "1").strip().lower()
+    return flag not in ("0", "off", "false", "no")
+
+
 def clear_caches() -> None:
-    """Empty every cache and reset its counters."""
+    """Empty every in-process cache and reset its counters.
+
+    The disk tier is deliberately left alone -- it is shared machine
+    state; call ``DISK_CACHE.clear()`` to wipe it explicitly.
+    """
     for cache in _ALL_CACHES:
         cache.clear()
 
 
 def cache_stats() -> dict[str, dict[str, int]]:
-    """Per-cache ``{entries, hits, misses}`` snapshot (for diagnostics)."""
-    return {
-        cache.name: {
-            "entries": len(cache),
-            "hits": cache.hits,
-            "misses": cache.misses,
-        }
-        for cache in _ALL_CACHES
-    }
+    """Per-cache counter snapshot (for diagnostics and bench output).
+
+    In-process caches report ``{entries, capacity, hits, misses,
+    evictions}``; the ``disk`` entry reports ``{entries, bytes, hits,
+    misses, evictions}`` for the persistent tier.
+    """
+    stats = {cache.name: cache.stats() for cache in _ALL_CACHES}
+    stats["disk"] = DISK_CACHE.stats()
+    return stats
 
 
 def _freeze(x: np.ndarray) -> np.ndarray:
     """Mark an array read-only so shared cache hits cannot be mutated."""
     x.flags.writeable = False
     return x
+
+
+def _disk_get(tag: str, *parts) -> np.ndarray | None:
+    if not disk_cache_enabled():
+        return None
+    return DISK_CACHE.get_array(PersistentCache.key_digest(tag, *parts))
+
+
+def _disk_put(value: np.ndarray, tag: str, *parts) -> None:
+    if not disk_cache_enabled():
+        return
+    DISK_CACHE.put_array(PersistentCache.key_digest(tag, *parts), value)
 
 
 def im2col_cached(
@@ -167,16 +389,24 @@ def im2col_cached(
     """Memoized :func:`repro.nn.functional.im2col`.
 
     Keyed on the input fingerprint plus the conv geometry; returns a
-    shared read-only ``(N * H' * W', C * kh * kw)`` buffer.
+    shared read-only ``(N * H' * W', C * kh * kw)`` buffer.  Backed by
+    the disk tier: a buffer lowered by any worker process is a read on
+    every other.
     """
     from repro.nn.functional import im2col
 
     if not _enabled:
         return im2col(x, kernel_size, stride, padding)
-    key = (array_fingerprint(x), tuple(kernel_size), int(stride), int(padding))
+    geometry = (tuple(kernel_size), int(stride), int(padding))
+    fingerprint = array_fingerprint(x)
+    key = (fingerprint, *geometry)
     cols = IM2COL_CACHE.get(key)
     if cols is None:
-        cols = _freeze(im2col(x, kernel_size, stride, padding))
+        cols = _disk_get("im2col", fingerprint, geometry)
+        if cols is None:
+            cols = im2col(x, kernel_size, stride, padding)
+            _disk_put(cols, "im2col", fingerprint, geometry)
+        cols = _freeze(cols)
         IM2COL_CACHE.put(key, cols)
     return cols
 
@@ -191,25 +421,26 @@ def switching_map_cached(
     """Memoized :func:`repro.core.switching.switching_map`.
 
     Keyed on ``(layer, fingerprint(y_approx), activation, threshold,
-    guard_band)``.  The ``layer`` token only partitions the cache (useful
-    so one layer's sweep cannot evict another's working set); correctness
-    comes from the fingerprint, which fully determines the map.  Returns a
-    shared read-only map.
+    guard_band)``.  The ``layer`` token only partitions the in-process
+    cache (useful so one layer's sweep cannot evict another's working
+    set); correctness comes from the fingerprint, which fully determines
+    the map -- so the disk tier drops the token and shares entries
+    across layers and processes alike.  Returns a shared read-only map.
     """
     from repro.core.switching import switching_map
 
     if not _enabled:
         return switching_map(y_approx, activation, threshold, guard_band)
-    key = (
-        layer,
-        array_fingerprint(y_approx),
-        activation,
-        float(threshold),
-        float(guard_band),
-    )
+    fingerprint = array_fingerprint(y_approx)
+    params = (activation, float(threshold), float(guard_band))
+    key = (layer, fingerprint, *params)
     omap = SWITCHING_CACHE.get(key)
     if omap is None:
-        omap = _freeze(switching_map(y_approx, activation, threshold, guard_band))
+        omap = _disk_get("switching_map", fingerprint, params)
+        if omap is None:
+            omap = switching_map(y_approx, activation, threshold, guard_band)
+            _disk_put(omap, "switching_map", fingerprint, params)
+        omap = _freeze(omap)
         SWITCHING_CACHE.put(key, omap)
     return omap
 
@@ -226,7 +457,8 @@ def tune_threshold_cached(
     fraction)``; the greedy per-layer allocation in
     :func:`repro.core.thresholds.allocate_layer_fractions` re-tunes
     upstream layers with unchanged inputs on every trial, which this
-    turns into dictionary lookups.
+    turns into dictionary lookups.  Tuned values persist on disk as 0-d
+    float64 arrays, shared across worker processes.
     """
     from repro.core.thresholds import tune_threshold_for_fraction
 
@@ -234,16 +466,20 @@ def tune_threshold_cached(
         return tune_threshold_for_fraction(
             approx_pre_activations, activation, target_insensitive_fraction
         )
-    key = (
-        layer,
-        array_fingerprint(approx_pre_activations),
-        activation,
-        float(target_insensitive_fraction),
-    )
+    fingerprint = array_fingerprint(approx_pre_activations)
+    params = (activation, float(target_insensitive_fraction))
+    key = (layer, fingerprint, *params)
     theta = THRESHOLD_CACHE.get(key)
     if theta is None:
-        theta = tune_threshold_for_fraction(
-            approx_pre_activations, activation, target_insensitive_fraction
-        )
+        stored = _disk_get("threshold", fingerprint, params)
+        if stored is not None and stored.size == 1:
+            # ascontiguousarray promotes 0-d saves to shape (1,): ravel
+            # before converting so either layout reads back as a float
+            theta = float(stored.ravel()[0])
+        else:
+            theta = tune_threshold_for_fraction(
+                approx_pre_activations, activation, target_insensitive_fraction
+            )
+            _disk_put(np.float64(theta), "threshold", fingerprint, params)
         THRESHOLD_CACHE.put(key, theta)
     return theta

@@ -108,10 +108,16 @@ class ReliabilityContext:
         return stage_config(self.policy.current_stage, base=base)
 
     def make_dram(self, bandwidth: int) -> Dram:
-        """A DRAM interface carrying this campaign's channel faults."""
+        """A DRAM interface carrying this campaign's channel faults.
+
+        The channel is backed by a
+        :class:`~repro.reliability.faults.DramFaultStream`, so the
+        per-event and vectorized-bulk paths draw from the same seeded
+        stream and stay bit-identical.
+        """
         self._dram = Dram(
             bandwidth,
-            fault_model=self.injector.dram_fault_model(),
+            fault_stream=self.injector.dram_fault_stream(),
             retry_policy=self.guards.retry_policy,
         )
         self._dram_marks = (0, 0, 0)

@@ -40,6 +40,7 @@ __all__ = [
     "DramTransferFaults",
     "StuckAtRows",
     "BiasedSpeculator",
+    "DramFaultStream",
     "FaultCampaign",
     "FaultInjector",
     "CAMPAIGNS",
@@ -198,6 +199,112 @@ class BiasedSpeculator(FaultModel):
         rate = self.effective_miss_rate(guard_band)
         drops = (rng.random(bits.shape) < rate) & (bits > 0)
         return np.where(drops, 0, bits).astype(bits.dtype)
+
+
+class DramFaultStream:
+    """Buffered Bernoulli attempt stream for one flaky DRAM channel.
+
+    Both execution paths of :class:`repro.sim.dram.Dram` consume this
+    one object, and both see the *same* underlying uniform stream:
+
+    - the per-event path calls :meth:`fails` once per transfer attempt
+      (exactly what the old closure-based fault model did);
+    - the vectorized path calls :meth:`failures` once per batch and gets
+      every transfer's leading-failure count in one shot.
+
+    Bit-identity rests on a numpy guarantee: ``Generator.random(n)``
+    yields the same doubles as ``n`` sequential ``Generator.random()``
+    calls, so pre-drawing uniform blocks and slicing them preserves the
+    draw sequence no matter how consumption is batched.  A transfer with
+    ``f`` leading failed attempts consumes ``min(f, R) + 1`` draws
+    (its failures plus the success draw) unless it exhausts all
+    ``R + 1`` attempts, which consumes exactly ``R + 1`` -- the same
+    accounting :meth:`repro.sim.dram.Dram._transfer` performs one
+    ``random()`` at a time.
+    """
+
+    #: uniform draws fetched per refill; any block size yields the same
+    #: logical stream, this just amortises generator call overhead.
+    BLOCK = 4096
+
+    def __init__(self, rng: np.random.Generator, rate: float):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"failure rate must be in [0, 1), got {rate}")
+        self.rng = rng
+        self.rate = rate
+        self._buffer = np.empty(0, dtype=np.float64)
+        self._pos = 0
+
+    def _ensure(self, n: int) -> np.ndarray:
+        """A view of >= ``n`` buffered draws starting at the cursor."""
+        available = len(self._buffer) - self._pos
+        if available < n:
+            fresh = self.rng.random(max(n - available, self.BLOCK))
+            self._buffer = np.concatenate(
+                (self._buffer[self._pos:], fresh)
+            )
+            self._pos = 0
+        return self._buffer[self._pos:]
+
+    def fails(self, direction: str, num_bytes: int, attempt: int) -> bool:
+        """Per-event fault model: does this transfer attempt fail?
+
+        Drop-in replacement for the closure
+        :meth:`FaultInjector.dram_fault_model` used to return; attached
+        to :attr:`repro.sim.dram.Dram.fault_model` so the per-event path
+        needs no changes at all.
+        """
+        draw = self._ensure(1)[0]
+        self._pos += 1
+        return bool(draw < self.rate)
+
+    def failures(self, n_transfers: int, max_retries: int) -> np.ndarray:
+        """Leading-failure counts for the next ``n_transfers`` transfers.
+
+        Returns an int64 array ``f`` with ``f[i]`` in ``[0, R + 1]``:
+        ``f[i] <= R`` means transfer ``i`` succeeded after ``f[i]``
+        retried attempts; ``f[i] == R + 1`` means it exhausted every
+        attempt (unrecoverable).  Consumes exactly the draws the
+        per-event path would have.
+        """
+        if n_transfers < 0:
+            raise ValueError(f"n_transfers must be non-negative, got {n_transfers}")
+        cap = max_retries + 1
+        out = np.empty(n_transfers, dtype=np.int64)
+        done = 0
+        while done < n_transfers:
+            remaining = n_transfers - done
+            # enough for `remaining` all-success transfers, and always
+            # enough to finish at least one transfer (progress bound)
+            view = self._ensure(max(remaining, cap))
+            succ = view >= self.rate
+            if bool(succ[:remaining].all()):
+                # common case, fully vectorized: every transfer's first
+                # attempt succeeds and consumes exactly one draw
+                out[done:] = 0
+                self._pos += remaining
+                return out
+            # failures since the last success, *before* each draw
+            idx = np.arange(len(view))
+            last_succ = np.maximum.accumulate(np.where(succ, idx, -1))
+            prev_succ = np.concatenate(([-1], last_succ[:-1]))
+            prefail = idx - prev_succ - 1
+            # a draw terminates a transfer iff it succeeds (f = leading
+            # failures mod cap) or it is the cap-th consecutive failure
+            # counted from the transfer's start (f = cap, exhausted)
+            exhausted = ~succ & (prefail % cap == cap - 1)
+            terminal = succ | exhausted
+            term_pos = np.flatnonzero(terminal)
+            take = min(remaining, len(term_pos))
+            f_vals = np.where(
+                exhausted[term_pos[:take]], cap, prefail[term_pos[:take]] % cap
+            )
+            out[done : done + take] = f_vals
+            done += take
+            # draws past the last emitted terminal belong to the next,
+            # still-incomplete transfer: leave them buffered
+            self._pos += int(term_pos[take - 1]) + 1
+        return out
 
 
 @dataclass(frozen=True)
@@ -453,6 +560,24 @@ class FaultInjector:
             return bool(rng.random() < rate)
 
         return fails
+
+    def dram_fault_stream(self, stream: int = 0) -> DramFaultStream | None:
+        """The campaign's DRAM channel faults as a :class:`DramFaultStream`.
+
+        Derives the *same* ``(seed, stream, "dram")`` generator and the
+        same max-rate composition as :meth:`dram_fault_model`, so a
+        stream-backed channel replays the closure-backed one draw for
+        draw -- but also serves the vectorized bulk path.  Returns None
+        when the campaign has no DRAM faults.  Like the closure, failed
+        attempts are tallied by the :class:`repro.sim.dram.Dram`
+        counters, not in :attr:`injected`.
+        """
+        faults = self.campaign.by_site("dram")
+        if not faults:
+            return None
+        return DramFaultStream(
+            self._rng(stream, "dram"), max(f.rate for f in faults)
+        )
 
     @property
     def total_injected(self) -> int:

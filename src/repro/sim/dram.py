@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 __all__ = ["Dram", "TransferRetryPolicy"]
 
 #: fault-model signature: ``(direction, num_bytes, attempt) -> bool``
@@ -80,11 +82,21 @@ class Dram:
         bandwidth: int,
         fault_model: TransferFaultModel | None = None,
         retry_policy: TransferRetryPolicy | None = None,
+        fault_stream=None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
+        if fault_stream is not None and fault_model is not None:
+            raise ValueError(
+                "pass either fault_model or fault_stream, not both"
+            )
         self.bandwidth = bandwidth
-        self.fault_model = fault_model
+        # a stream serves both paths: its per-event fails() method *is*
+        # the fault model, and read_bulk batches it via failures()
+        self.fault_stream = fault_stream
+        self.fault_model = (
+            fault_stream.fails if fault_stream is not None else fault_model
+        )
         self.retry_policy = (
             retry_policy if retry_policy is not None else TransferRetryPolicy()
         )
@@ -136,9 +148,13 @@ class Dram:
         Fast-path helper: records every entry as one demand read and
         returns the per-entry cycle counts -- identical counters and
         cycles to calling :meth:`read` element by element, without the
-        per-event Python overhead.  Only valid without a fault model;
-        flaky channels must take the per-transfer path so retry and
-        backoff semantics apply.
+        per-event Python overhead.  A flaky channel is supported when it
+        is backed by a ``fault_stream``
+        (:class:`repro.reliability.faults.DramFaultStream`): the batch
+        resolves every transfer's retry/backoff outcome vectorized from
+        the same draw sequence the per-event path consumes, so counters
+        and cycles stay bit-identical.  A bare ``fault_model`` callable
+        has no batched form and must take the per-transfer path.
 
         Args:
             byte_counts: non-negative integer array (numpy).
@@ -146,15 +162,52 @@ class Dram:
         Returns:
             Integer array of interface cycles, same shape.
         """
+        if byte_counts.size and int(byte_counts.min()) < 0:
+            raise ValueError("negative byte count")
+        if self.fault_stream is not None:
+            return self._read_bulk_flaky(byte_counts)
         if self.fault_model is not None:
             raise RuntimeError(
                 "read_bulk bypasses retry handling; use read() when a "
                 "fault model is attached"
             )
-        if byte_counts.size and int(byte_counts.min()) < 0:
-            raise ValueError("negative byte count")
         self.bytes_read += int(byte_counts.sum())
         return -(-byte_counts // self.bandwidth)
+
+    def _read_bulk_flaky(self, byte_counts) -> np.ndarray:
+        """Vectorized flaky-channel reads, bit-identical to :meth:`read`.
+
+        Transfer ``i`` with ``f`` leading failed attempts replays the
+        per-event loop in closed form (``r = min(f, R)`` retries):
+
+        - ``retry_cycles`` gains ``base * r + backoff * (2^r - 1)``
+          (each retry re-issues the transfer after exponential backoff);
+        - ``retries`` gains ``r``, ``failed_transfers`` gains ``f``, and
+          ``f == R + 1`` marks the transfer unrecoverable;
+        - the returned cycles are ``base`` plus the retry cost.
+
+        Zero-byte entries never consult the fault stream, exactly like
+        the early return in :meth:`_transfer`.
+        """
+        flat = np.asarray(byte_counts).ravel()
+        base = -(-flat // self.bandwidth)
+        cycles = base.copy()
+        nonzero = np.flatnonzero(flat > 0)
+        if nonzero.size:
+            policy = self.retry_policy
+            max_retries = policy.max_retries
+            f = self.fault_stream.failures(int(nonzero.size), max_retries)
+            r = np.minimum(f, max_retries)
+            extra = base[nonzero] * r + policy.backoff_cycles * (
+                np.left_shift(np.int64(1), r) - 1
+            )
+            self.retries += int(r.sum())
+            self.failed_transfers += int(f.sum())
+            self.unrecoverable_transfers += int((f > max_retries).sum())
+            self.retry_cycles += int(extra.sum())
+            cycles[nonzero] += extra
+        self.bytes_read += int(flat.sum())
+        return cycles.reshape(np.asarray(byte_counts).shape)
 
     def write(self, num_bytes: int) -> int:
         """Record a write; returns the cycles it occupies the interface."""

@@ -269,6 +269,34 @@ class CnnPipeline:
         return report
 
 
+def _gate_fetch(dram: Dram, byte_counts: np.ndarray) -> np.ndarray:
+    """Per-event weight-fetch oracle: one ``dram.read`` per (step, gate).
+
+    The reference semantics of the batched fetch below: walk the
+    ``(seq_len, num_gates)`` byte grid in C order (time-step major,
+    exactly the nested loop order of the slow path) issuing one transfer
+    each, letting the DRAM model apply its per-transfer fault/retry
+    machinery.  Kept as the bit-identity oracle for
+    :func:`_gate_fetch_fast` (see ``tests/sim/test_fast_path.py``).
+    """
+    flat = np.asarray(byte_counts).ravel()
+    cycles = np.empty(flat.shape, dtype=np.int64)
+    for i, num_bytes in enumerate(flat):
+        cycles[i] = dram.read(int(num_bytes))
+    return cycles.reshape(np.asarray(byte_counts).shape)
+
+
+def _gate_fetch_fast(dram: Dram, byte_counts: np.ndarray) -> np.ndarray:
+    """Batched weight fetch: the whole (step, gate) grid in one call.
+
+    Delegates to :meth:`repro.sim.dram.Dram.read_bulk`, which resolves
+    flaky-channel retries vectorized from the same fault-stream draws
+    the per-event oracle consumes -- counters and cycles bit-identical
+    to :func:`_gate_fetch`.
+    """
+    return dram.read_bulk(byte_counts)
+
+
 class RnnPipeline:
     """Gate-level pipelined RNN execution (paper Section IV-B).
 
@@ -333,13 +361,15 @@ class RnnPipeline:
             if switching:
                 gate_spec_cost = speculator.rnn_gate(spec, self.reduction)
 
-            if cfg_now.fast_path and ctx is None:
+            if cfg_now.fast_path:
                 # -- fast path: batch the whole (time step, gate) grid ----
                 # Every per-gate quantity in the reference loop is an
                 # integer and every accumulator adds integers, so the
                 # batched int64 reductions below reproduce the loop bit
-                # for bit.  Reliability contexts keep the per-event path:
-                # DRAM fault models act on individual transfers.
+                # for bit.  Under a reliability context the DRAM channel
+                # is stream-backed, so the batched fetch resolves every
+                # transfer's fault/retry outcome from the same draws the
+                # per-event path would consume.
                 rows = cfg_now.executor_rows
                 row_len = spec.input_size + spec.hidden_size
                 wave_cycles = math.ceil(
@@ -359,7 +389,9 @@ class RnnPipeline:
                 fetch_words = executed.copy()
                 if weights_resident:
                     fetch_words[1:, :] = 0
-                fetch_cycles = dram.read_bulk(fetch_words * BYTES_PER_ELEMENT)
+                fetch_cycles = _gate_fetch_fast(
+                    dram, fetch_words * BYTES_PER_ELEMENT
+                )
                 glb.write(int(fetch_words.sum()) * BYTES_PER_ELEMENT)
                 glb.read(int(executed.sum()) * BYTES_PER_ELEMENT)
                 compute_cycles = compute.copy()

@@ -95,3 +95,123 @@ class TestSwitchingAndThresholdCaches:
         cache.tune_threshold_cached(y, "relu", 0.5)
         stats = cache.cache_stats()["threshold"]
         assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+@pytest.fixture()
+def disk(tmp_path, monkeypatch):
+    """A fresh disk tier rooted in tmp, wired in as the global store."""
+    store = cache.PersistentCache(root=tmp_path / "store")
+    monkeypatch.setattr(cache, "DISK_CACHE", store)
+    cache.set_disk_cache_enabled(True)
+    yield store
+    cache.set_disk_cache_enabled(None)
+
+
+class TestPersistentCache:
+    def test_roundtrip_and_counters(self, disk):
+        value = np.arange(32, dtype=np.float64).reshape(4, 8)
+        key = cache.PersistentCache.key_digest("t", "fp", (1, 2))
+        assert disk.get_array(key) is None  # cold
+        disk.put_array(key, value)
+        np.testing.assert_array_equal(disk.get_array(key), value)
+        assert disk.hits == 1 and disk.misses == 1
+        # atomic writes leave no temp droppings behind
+        assert not list(disk.directory.glob("*tmp*"))
+        stats = disk.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+
+    def test_corrupt_entry_is_a_miss(self, disk):
+        key = cache.PersistentCache.key_digest("t", "fp")
+        disk.put_array(key, np.ones(4))
+        (disk.directory / f"{key}.npy").write_bytes(b"not an npy file")
+        assert disk.get_array(key) is None
+        assert disk.misses == 1
+
+    def test_version_bump_orphans_entries(self, tmp_path):
+        root = tmp_path / "store"
+        v1 = cache.PersistentCache(root=root, version="v1")
+        v2 = cache.PersistentCache(root=root, version="v2")
+        key = cache.PersistentCache.key_digest("t", "fp")
+        v1.put_array(key, np.ones(4))
+        assert v2.get_array(key) is None  # different schema dir
+        assert v1.directory != v2.directory
+        assert v1.directory.parent == v2.directory.parent
+
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        store = cache.PersistentCache()
+        store.put_array("abc", np.ones(2))
+        assert (
+            tmp_path / "elsewhere" / cache.DISK_SCHEMA_VERSION / "abc.npy"
+        ).exists()
+
+    def test_size_bound_evicts_oldest(self, disk):
+        import os
+
+        value = np.zeros(128, dtype=np.float64)  # ~1.2 KB per .npy
+        keys = [cache.PersistentCache.key_digest("t", i) for i in range(3)]
+        disk.put_array(keys[0], value)
+        disk.put_array(keys[1], value)
+        entry_bytes = (disk.directory / f"{keys[0]}.npy").stat().st_size
+        disk.max_bytes = int(entry_bytes * 2.5)
+        # age the first entry so mtime ordering is unambiguous
+        os.utime(disk.directory / f"{keys[0]}.npy", (1.0, 1.0))
+        disk.put_array(keys[2], value)
+        assert disk.evictions == 1
+        assert disk.get_array(keys[0]) is None  # oldest gone
+        assert disk.get_array(keys[2]) is not None
+
+
+class TestDiskTierIntegration:
+    def test_survives_memory_cache_clear(self, disk):
+        """A value computed once is a disk read after the in-process
+        caches are wiped -- the cross-process sharing contract, observed
+        within one process via ``clear_caches``."""
+        x = np.random.default_rng(5).normal(size=(1, 2, 6, 6))
+        first = cache.im2col_cached(x, (3, 3), 1, 1)
+        cache.clear_caches()
+        assert disk.hits == 0
+        second = cache.im2col_cached(x, (3, 3), 1, 1)
+        np.testing.assert_array_equal(first, second)
+        assert disk.hits == 1
+
+    def test_disk_key_ignores_layer_token(self, disk):
+        """The in-process ``layer`` partition token is process-local, so
+        the disk key drops it: one layer's map is a hit for another."""
+        y = np.random.default_rng(6).normal(size=(4, 8))
+        cache.switching_map_cached(y, "relu", 0.2, layer="conv1")
+        cache.clear_caches()
+        cache.switching_map_cached(y, "relu", 0.2, layer="conv9")
+        assert disk.hits == 1
+
+    def test_threshold_roundtrips_as_float(self, disk):
+        y = np.random.default_rng(7).normal(size=512)
+        theta = cache.tune_threshold_cached(y, "relu", 0.6)
+        cache.clear_caches()
+        again = cache.tune_threshold_cached(y, "relu", 0.6)
+        assert isinstance(again, float)
+        assert again == theta
+        assert disk.hits == 1
+
+    def test_set_disk_cache_enabled_false_bypasses(self, disk):
+        cache.set_disk_cache_enabled(False)
+        assert not cache.disk_cache_enabled()
+        x = np.zeros((1, 1, 4, 4))
+        cache.im2col_cached(x, (3, 3), 1, 0)
+        assert disk.stats()["entries"] == 0
+
+    def test_env_toggle_disables_disk(self, disk, monkeypatch):
+        cache.set_disk_cache_enabled(None)  # defer to the environment
+        monkeypatch.setenv(cache.CACHE_DISK_ENV, "0")
+        assert not cache.disk_cache_enabled()
+        monkeypatch.setenv(cache.CACHE_DISK_ENV, "1")
+        assert cache.disk_cache_enabled()
+
+    def test_disk_disabled_when_caches_disabled(self, disk):
+        cache.set_cache_enabled(False)
+        assert not cache.disk_cache_enabled()
+
+    def test_stats_exposes_disk_tier(self, disk):
+        assert set(cache.cache_stats()["disk"]) == {
+            "entries", "bytes", "hits", "misses", "evictions",
+        }

@@ -57,6 +57,19 @@ class TestFaultsCommand:
         with pytest.raises(SystemExit):
             run_cli("faults", "--model", "resnet999")
 
-    def test_model_is_required(self):
-        with pytest.raises(SystemExit):
-            run_cli("faults")
+    def test_no_model_runs_the_matrix(self, tmp_path, monkeypatch):
+        """Omitting ``--model`` runs the sharded campaign matrix and
+        writes the duet-faults document."""
+        monkeypatch.chdir(tmp_path)
+        code, out, err = run_cli(
+            "faults", "--smoke", "--output", str(tmp_path / "m.json")
+        )
+        assert code == 0
+        assert err == ""
+        assert "values-never-corrupted invariant: PASS across" in out
+        assert (tmp_path / "m.json").exists()
+
+    def test_no_guards_requires_a_model(self):
+        code, _, err = run_cli("faults", "--no-guards")
+        assert code == 2
+        assert "error:" in err

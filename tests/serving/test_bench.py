@@ -8,7 +8,12 @@ import json
 
 import pytest
 
-from repro.bench import SERVE_SCHEMA, run_serving_bench, serve_scenarios
+from repro.bench import (
+    SERVE_SCHEMA,
+    deterministic_view,
+    run_serving_bench,
+    serve_scenarios,
+)
 
 SMALL = dict(smoke=True, seed=0, scale=0.02, output=None)
 
@@ -92,13 +97,26 @@ class TestDocument:
 
 class TestDeterminism:
     def test_same_seed_byte_identical(self, document, tmp_path):
+        """Simulated quantities are byte-deterministic; only the ``perf``
+        block and ``history`` trail (wall clocks) may differ between
+        reruns, which is exactly what ``deterministic_view`` strips."""
         path = tmp_path / "BENCH_serving.json"
         rerun = run_serving_bench(**{**SMALL, "output": path})
-        assert json.dumps(rerun, sort_keys=True) == json.dumps(
-            document, sort_keys=True
-        )
+        assert json.dumps(
+            deterministic_view(rerun), sort_keys=True
+        ) == json.dumps(deterministic_view(document), sort_keys=True)
         # the written file is exactly the returned document
         assert json.loads(path.read_text()) == rerun
+
+    def test_no_perf_documents_fully_byte_identical(self, tmp_path):
+        """Under ``with_perf=False`` nothing non-deterministic remains:
+        two runs (any worker count) write byte-identical files."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run_serving_bench(**{**SMALL, "output": a, "with_perf": False})
+        run_serving_bench(
+            **{**SMALL, "output": b, "with_perf": False, "jobs": 2}
+        )
+        assert a.read_bytes() == b.read_bytes()
 
     def test_fast_path_matches_slow_path(self):
         """duet-serve/1 metrics agree between the vectorized fast path

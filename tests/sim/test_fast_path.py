@@ -28,7 +28,9 @@ from repro.sim.pe import (
     tag_instructions,
     tag_instructions_reference,
 )
-from repro.sim.pipeline import RnnPipeline
+from repro.reliability.faults import DramFaultStream
+from repro.sim.dram import Dram, TransferRetryPolicy
+from repro.sim.pipeline import RnnPipeline, _gate_fetch, _gate_fetch_fast
 from repro.workloads import SparsityModel, cnn_workloads, rnn_workloads
 from repro.workloads.sparsity import CnnLayerWorkload
 
@@ -218,6 +220,49 @@ class TestRnnPipelineFastPath:
                 dataclasses.replace(cfg, fast_path=False)
             ).run(spec, wl)
             assert fast.layers == slow.layers
+
+
+class TestGateFetchFastPath:
+    """``_gate_fetch_fast`` (``Dram.read_bulk``) vs the per-event
+    ``_gate_fetch`` oracle (PAR001 coverage), including a flaky channel
+    where both paths must consume the identical fault-draw sequence."""
+
+    @staticmethod
+    def _dram(seed, rate):
+        stream = DramFaultStream(np.random.default_rng(seed), rate=rate)
+        return Dram(
+            bandwidth=64,
+            fault_stream=stream,
+            retry_policy=TransferRetryPolicy(max_retries=3, backoff_cycles=8),
+        )
+
+    @given(
+        counts=st.lists(st.integers(0, 4096), min_size=1, max_size=64),
+        rate=st.floats(0.0, 0.5),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_flaky_channel_bit_identical(self, counts, rate, seed):
+        byte_counts = np.array(counts, dtype=np.int64)
+        fast_dram = self._dram(seed, rate)
+        slow_dram = self._dram(seed, rate)
+        fast = _gate_fetch_fast(fast_dram, byte_counts)
+        slow = _gate_fetch(slow_dram, byte_counts)
+        assert np.array_equal(fast, slow)
+        for counter in (
+            "bytes_read", "retries", "failed_transfers",
+            "unrecoverable_transfers", "retry_cycles",
+        ):
+            assert getattr(fast_dram, counter) == getattr(slow_dram, counter)
+
+    def test_fault_free_channel_identical(self):
+        byte_counts = np.arange(12, dtype=np.int64).reshape(3, 4) * 7
+        fast_dram, slow_dram = Dram(bandwidth=64), Dram(bandwidth=64)
+        fast = _gate_fetch_fast(fast_dram, byte_counts)
+        slow = _gate_fetch(slow_dram, byte_counts)
+        assert np.array_equal(fast, slow)
+        assert fast.shape == byte_counts.shape
+        assert fast_dram.bytes_read == slow_dram.bytes_read
 
 
 class TestBenchHarness:

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compare two bench documents under the determinism contract.
+
+``python tools/compare_bench.py A.json B.json`` loads both documents,
+strips the non-deterministic keys (the ``perf`` block, the ``history``
+trail, wall-clock fields -- see
+:data:`repro.bench.document.NONDETERMINISTIC_KEYS`), and diffs the rest.
+This is the check CI runs between ``--jobs 1`` and ``--jobs N`` outputs:
+the views must agree exactly even though the wall clocks never will.
+
+Exit convention: 0 equal, 1 documents differ, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.document import deterministic_view  # noqa: E402
+
+
+def _first_diff(a, b, path: str = "$") -> str | None:
+    """Path of the first differing leaf between two JSON values."""
+    if type(a) is not type(b):
+        return path
+    if isinstance(a, dict):
+        if sorted(a) != sorted(b):
+            return path
+        for key in a:
+            diff = _first_diff(a[key], b[key], f"{path}.{key}")
+            if diff is not None:
+                return diff
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return path
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = _first_diff(x, y, f"{path}[{i}]")
+            if diff is not None:
+                return diff
+        return None
+    return None if a == b else path
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print(
+            "usage: python tools/compare_bench.py A.json B.json",
+            file=sys.stderr,
+        )
+        return 2
+    documents = []
+    for name in argv:
+        try:
+            documents.append(json.loads(Path(name).read_text()))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {name}: {exc}", file=sys.stderr)
+            return 2
+    views = [deterministic_view(d) for d in documents]
+    diff = _first_diff(*views)
+    if diff is not None:
+        print(f"documents differ at {diff} (after stripping perf/history)")
+        return 1
+    print(f"deterministic views of {argv[0]} and {argv[1]} are identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
