@@ -6,12 +6,34 @@ printed to the terminal (bypassing capture) and mirrored under
 ``benchmarks/results/`` so EXPERIMENTS.md can reference them.
 """
 
+import os
 import pathlib
 
 import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    """Worker processes for sharded campaigns: ``DUET_JOBS`` (default 1).
+
+    Campaign documents are byte-identical for any worker count
+    (:mod:`repro.parallel`), so CI can export ``DUET_JOBS=4`` to spend
+    more cores on ``pytest benchmarks/`` without changing a single
+    benchmark assertion.
+    """
+    raw = os.environ.get("DUET_JOBS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"DUET_JOBS must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise pytest.UsageError(f"DUET_JOBS must be >= 1, got {value}")
+    return value
 
 
 @pytest.fixture

@@ -134,4 +134,5 @@ from repro.analysis.rules import (  # noqa: E402,F401
     numerics,
     parallelism,
     parity,
+    reliability,
 )

@@ -13,6 +13,9 @@ simulated results for any worker count:
 - ``BENCH_faults.json`` (``python -m repro faults``, no ``--model``):
   the reliability campaign grid with its invariant verdicts
   (:mod:`repro.bench.faults`).
+- ``BENCH_chaos.json`` (``python -m repro chaos``): the fault-tolerant
+  serving sweep -- fault rate x recovery policy, with conservation and
+  dominance verdicts (:mod:`repro.bench.chaos`).
 
 Modules:
 
@@ -30,6 +33,7 @@ See ``docs/performance.md`` for how to run the timing harness,
 for the paper-figure mapping of every bench file.
 """
 
+from repro.bench.chaos import CHAOS_SCHEMA, chaos_cells, run_chaos_bench
 from repro.bench.document import deterministic_view
 from repro.bench.faults import FAULTS_SCHEMA, fault_matrix, run_fault_matrix
 from repro.bench.harness import (
@@ -44,14 +48,17 @@ from repro.bench.suites import SUITES, BenchSuite, suite_names
 __all__ = [
     "BENCH_SCHEMA",
     "BenchSuite",
+    "CHAOS_SCHEMA",
     "FAULTS_SCHEMA",
     "SERVE_SCHEMA",
     "SUITES",
     "suite_names",
+    "chaos_cells",
     "deterministic_view",
     "discover_bench_files",
     "fault_matrix",
     "run_bench",
+    "run_chaos_bench",
     "run_fault_matrix",
     "run_serving_bench",
     "run_suite",

@@ -16,6 +16,8 @@ Commands:
   arrival trace and print the SLO report.
 - ``loadgen``               run the serving scenario campaign and write
   ``BENCH_serving.json``.
+- ``chaos``                 run the fault-tolerant serving sweep (fault
+  rate x recovery policy) and write ``BENCH_chaos.json``.
 - ``lint``                  run duetlint, the project-specific static
   analysis (exit 0 clean, 1 findings, 2 usage error).
 
@@ -31,7 +33,13 @@ import sys
 
 from repro.analysis.cli import cmd_lint, configure_parser as configure_lint_parser
 from repro.baselines import cnvlutin, eyeriss, predict, predict_cnvlutin, snapea
-from repro.bench import SUITES, run_bench, run_fault_matrix, run_serving_bench
+from repro.bench import (
+    SUITES,
+    run_bench,
+    run_chaos_bench,
+    run_fault_matrix,
+    run_serving_bench,
+)
 from repro.models import MODEL_REGISTRY, get_model_spec
 from repro.reliability import CAMPAIGNS, GuardSettings, run_fault_campaign
 from repro.reporting import format_percent
@@ -247,6 +255,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (simulated results identical for any N)",
     )
     p_load.add_argument(
+        "--no-perf", action="store_true",
+        help=(
+            "omit the wall-clock perf block and history so documents "
+            "compare byte-identical across worker counts"
+        ),
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "run the fault-tolerant serving sweep (fault rate x recovery "
+            "policy), write BENCH_chaos.json"
+        ),
+    )
+    p_chaos.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep (2 rates, 120 requests/cell) instead of full",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    p_chaos.add_argument(
+        "--workers", type=int, default=3, help="simulated accelerators in the fleet"
+    )
+    p_chaos.add_argument(
+        "--slow-path", action="store_true",
+        help="simulate on the per-event slow-path oracle instead",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (simulated results identical for any N)",
+    )
+    p_chaos.add_argument(
+        "--output", default="BENCH_chaos.json",
+        help="result path (default BENCH_chaos.json at the repo root)",
+    )
+    p_chaos.add_argument(
         "--no-perf", action="store_true",
         help=(
             "omit the wall-clock perf block and history so documents "
@@ -580,6 +623,58 @@ def _cmd_loadgen(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    if args.workers < 1:
+        raise CliError(f"--workers must be >= 1, got {args.workers}")
+    if args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
+    out.write(
+        f"{'policy':>22s} {'fault':>6s} {'done':>5s} {'fail':>5s} {'rej':>5s} "
+        f"{'req/s':>8s} {'p99 ms':>9s} {'retry':>6s} {'hedge':>6s} "
+        f"{'opens':>6s} {'evict':>6s} {'lost':>5s} {'dup':>4s}\n"
+    )
+
+    def _progress(record):
+        summary = record["summary"]
+        p99 = summary["latency_ms"]["p99"]
+        p99_text = f"{p99:9.3f}" if p99 is not None else f"{'n/a':>9s}"
+        out.write(
+            f"{record['policy']:>22s} {record['fault_rate']:6.2f} "
+            f"{summary['completed']:5d} {summary['failed']:5d} "
+            f"{summary['rejected']:5d} {summary['goodput_rps']:8.1f} "
+            f"{p99_text} {summary['retries']:6d} {summary['hedges']:6d} "
+            f"{summary['breaker_opens']:6d} {summary['evictions']:6d} "
+            f"{summary['lost']:5d} {summary['duplicates']:4d}\n"
+        )
+
+    document = run_chaos_bench(
+        smoke=args.smoke,
+        root_seed=args.seed,
+        workers=args.workers,
+        fast_path=not args.slow_path,
+        jobs=args.jobs,
+        output=args.output,
+        with_perf=not args.no_perf,
+        progress=_progress,
+    )
+    verdicts = document["verdicts"]
+    dominance = document["dominance"]
+    out.write(
+        f"conservation: zero_lost={verdicts['zero_lost']} "
+        f"zero_duplicates={verdicts['zero_duplicates']}\n"
+    )
+    out.write(
+        f"dominance at fault rate {dominance['fault_rate']}: "
+        f"{dominance['full_stack_policy']} "
+        f"{dominance['full_stack_goodput_rps']:.1f} req/s vs "
+        f"{dominance['baseline_policy']} "
+        f"{dominance['baseline_goodput_rps']:.1f} req/s "
+        f"({'holds' if verdicts['dominance'] else 'FAILS'}); "
+        f"results in {args.output}\n"
+    )
+    return 0 if all(verdicts.values()) else 1
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "simulate": _cmd_simulate,
@@ -590,6 +685,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
     "lint": cmd_lint,
 }
 

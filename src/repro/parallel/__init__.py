@@ -7,6 +7,7 @@ from repro.parallel.engine import (
     preferred_start_method,
     run_sharded,
     spawn_task_seeds,
+    warm_cache,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "preferred_start_method",
     "run_sharded",
     "spawn_task_seeds",
+    "warm_cache",
 ]

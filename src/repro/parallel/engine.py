@@ -44,6 +44,7 @@ __all__ = [
     "ShardedRun",
     "spawn_task_seeds",
     "run_sharded",
+    "warm_cache",
     "merge_counters",
     "preferred_start_method",
 ]
@@ -195,11 +196,39 @@ def _execute_task(
     return result, busy, delta
 
 
+def warm_cache(
+    tasks: list[CampaignTask],
+    clock: Callable[[], float] | None = None,
+    stats: Callable[[], dict] | None = None,
+) -> tuple[CampaignTask | None, Any, float, dict]:
+    """Pre-seed shared caches by running the lowest-index task inline.
+
+    :func:`run_sharded` calls this in the parent process before forking
+    the pool.  Executing one representative cell up front populates both
+    the in-process memo caches -- inherited for free by ``fork`` workers
+    -- and the persistent disk tier (:mod:`repro.core.cache`), so
+    ``spawn``-start platforms do not pay cold im2col / threshold-tuning
+    misses in every worker simultaneously.  The warm task is a real cell
+    of the campaign: its result is merged like any other, never
+    recomputed.
+
+    Returns:
+        ``(task, result, busy_seconds, stats_delta)``; ``task`` is
+        ``None`` when the work-list is empty.
+    """
+    if not tasks:
+        return None, None, 0.0, {}
+    task = min(tasks, key=lambda t: t.index)
+    result, busy, delta = _execute_task(task.fn, task.kwargs, clock, stats)
+    return task, result, busy, delta
+
+
 def run_sharded(
     tasks: list[CampaignTask],
     jobs: int = 1,
     clock: Callable[[], float] | None = None,
     stats: Callable[[], dict] | None = None,
+    warm: bool = True,
 ) -> ShardedRun:
     """Execute a campaign work-list across ``jobs`` worker processes.
 
@@ -215,6 +244,11 @@ def run_sharded(
         stats: optional picklable zero-arg callable returning a nested
             ``{str: number | dict}`` counter snapshot; per-task deltas
             are summed into :attr:`ShardedRun.stats`.
+        warm: when sharding across a pool, first run the lowest-index
+            task inline via :func:`warm_cache` so shared caches (memo
+            tiers under ``fork``, the persistent disk tier under
+            ``spawn``) are seeded before workers start.  Results are
+            identical either way; only wall-clock timing differs.
 
     Returns:
         A :class:`ShardedRun`; ``results[i]`` belongs to the task with
@@ -240,15 +274,22 @@ def run_sharded(
             merge_counters(stat_totals, delta)
         jobs_used = 1
     else:
+        sharded = tasks
+        if warm:
+            warm_task, result, busy, delta = warm_cache(tasks, clock, stats)
+            by_index[warm_task.index] = result
+            busy_total += busy
+            merge_counters(stat_totals, delta)
+            sharded = [t for t in tasks if t.index != warm_task.index]
         start_method = preferred_start_method()
         context = multiprocessing.get_context(start_method)
         jobs_used = min(jobs, len(tasks))
         with ProcessPoolExecutor(
-            max_workers=jobs_used, mp_context=context
+            max_workers=min(jobs, len(sharded)), mp_context=context
         ) as pool:
             pending = {
                 pool.submit(_execute_task, task.fn, task.kwargs, clock, stats): task
-                for task in tasks
+                for task in sharded
             }
             while pending:
                 done, _ = wait(set(pending), return_when=FIRST_COMPLETED)

@@ -17,6 +17,9 @@ computed, and never forward progress.  The subsystem has four parts:
 - :mod:`~repro.reliability.runner` -- campaign runner: the analytical
   degradation run plus the MAC-level invariant probe, rendered by
   ``python -m repro faults``.
+- :mod:`~repro.reliability.workerfaults` -- seeded worker/fleet fault
+  streams (crash, hang, straggle) consumed by the fault-tolerant serving
+  tier (:mod:`repro.serving.faulttol`).
 """
 
 from repro.reliability.context import GuardSettings, ReliabilityContext
@@ -56,6 +59,16 @@ from repro.reliability.runner import (
     run_fault_campaign,
     run_functional_probe,
 )
+from repro.reliability.workerfaults import (
+    FATE_CRASH,
+    FATE_HANG,
+    FATE_OK,
+    FATE_STRAGGLE,
+    WorkerFate,
+    WorkerFaultModel,
+    WorkerFaultStream,
+    spawn_worker_streams,
+)
 
 __all__ = [
     "BiasedSpeculator",
@@ -68,6 +81,10 @@ __all__ = [
     "DegradationEvent",
     "DegradationPolicy",
     "DramTransferFaults",
+    "FATE_CRASH",
+    "FATE_HANG",
+    "FATE_OK",
+    "FATE_STRAGGLE",
     "FaultCampaign",
     "FaultInjector",
     "FunctionalProbe",
@@ -81,9 +98,13 @@ __all__ = [
     "StuckAtRows",
     "WeightCorruption",
     "WeightMemoryScrubber",
+    "WorkerFate",
+    "WorkerFaultModel",
+    "WorkerFaultStream",
     "get_campaign",
     "map_checksum",
     "row_checksums",
     "run_fault_campaign",
     "run_functional_probe",
+    "spawn_worker_streams",
 ]

@@ -13,20 +13,43 @@ latency, throughput, reject and degrade rates, per-rung serve counts.
 Entry points:
 
 - :func:`simulate_serving` / :class:`ServingSimulator` -- replay a trace.
+- :func:`simulate_chaos` / :class:`FaultTolerantSimulator` -- the same
+  front end over a *faulty* fleet (crash/hang/straggle) with retries,
+  hedging, circuit breakers, and health-checked respawn
+  (:mod:`repro.serving.faulttol`).
 - :func:`generate_trace` -- seeded Poisson / bursty arrival traces.
 - ``python -m repro serve`` -- one campaign, human-readable SLO report.
 - ``python -m repro loadgen`` -- the scenario campaign behind
   ``BENCH_serving.json`` (:mod:`repro.bench.serving`).
+- ``python -m repro chaos`` -- the fault-rate x policy campaign behind
+  ``BENCH_chaos.json`` (:mod:`repro.bench.chaos`).
 
-See ``docs/serving.md`` for the queueing model and SLO semantics.
+See ``docs/serving.md`` for the queueing model and SLO semantics, and
+``docs/fault_tolerance.md`` for the fault model and recovery machinery.
 """
 
 from repro.serving.admission import AdmissionConfig, AdmissionController, TokenBucket
 from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.faulttol import (
+    POLICY_LADDER,
+    BreakerPolicy,
+    ChaosResult,
+    ChaosSummary,
+    FaultTolerancePolicy,
+    FaultTolerantSimulator,
+    HealthPolicy,
+    HedgePolicy,
+    RetryPolicy,
+    policy_named,
+    simulate_chaos,
+)
 from repro.serving.loadgen import ARRIVAL_PROCESSES, TraceConfig, generate_trace
 from repro.serving.overload import SERVING_LADDER, OverloadPolicy
 from repro.serving.request import (
     COMPLETED,
+    FAIL_ATTEMPTS_EXHAUSTED,
+    FAIL_DEADLINE,
+    FAILED,
     REJECT_QUEUE_FULL,
     REJECT_RATE_LIMITED,
     REJECTED,
@@ -49,14 +72,26 @@ __all__ = [
     "BatchExecutor",
     "BatchPolicy",
     "BatchResult",
+    "BreakerPolicy",
     "COMPLETED",
+    "ChaosResult",
+    "ChaosSummary",
     "DynamicBatcher",
+    "FAILED",
+    "FAIL_ATTEMPTS_EXHAUSTED",
+    "FAIL_DEADLINE",
+    "FaultTolerancePolicy",
+    "FaultTolerantSimulator",
+    "HealthPolicy",
+    "HedgePolicy",
     "OverloadPolicy",
+    "POLICY_LADDER",
     "REJECTED",
     "REJECT_QUEUE_FULL",
     "REJECT_RATE_LIMITED",
     "Request",
     "RequestRecord",
+    "RetryPolicy",
     "SERVING_LADDER",
     "ServerConfig",
     "ServiceModel",
@@ -68,6 +103,8 @@ __all__ = [
     "WorkerPool",
     "generate_trace",
     "percentile",
+    "policy_named",
+    "simulate_chaos",
     "simulate_serving",
     "summarize",
 ]

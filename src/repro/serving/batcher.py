@@ -77,6 +77,16 @@ class DynamicBatcher:
         self._queues.setdefault(request.model, deque()).append(request)
         self.depth += 1
 
+    def push_front(self, request: Request) -> None:
+        """Re-queue a handed-back request at the front of its model queue.
+
+        Used by graceful drain: an evicted worker's not-yet-served work
+        re-enters ahead of younger traffic, preserving the FIFO order the
+        original dispatch honoured.
+        """
+        self._queues.setdefault(request.model, deque()).appendleft(request)
+        self.depth += 1
+
     def _dispatchable(self, queue: deque[Request], now_cycle: int) -> bool:
         if len(queue) >= self.policy.max_batch:
             return True

@@ -1,0 +1,1139 @@
+"""Fault-tolerant serving: retries, hedging, breakers, health-checked pool.
+
+The plain :class:`~repro.serving.server.ServingSimulator` assumes immortal
+workers.  This module re-runs the same discrete-event design against a
+fleet whose workers **crash**, **hang**, and **straggle** (fates drawn per
+dispatch from :mod:`repro.reliability.workerfaults` streams) and layers
+the client- and server-side machinery production serving needs to survive
+that:
+
+- **timeouts + bounded retries** with seeded exponential backoff jitter
+  (:class:`RetryPolicy`): an attempt that outlives its timeout is
+  abandoned and the request re-queued, up to ``max_attempts`` dispatches;
+- **hedged requests** (:class:`HedgePolicy`): an attempt that outlives
+  the observed p99 attempt latency is raced against a second dispatch on
+  a different worker, first completion wins, the loser's result is
+  suppressed (never delivered twice);
+- **per-worker circuit breakers** (:class:`BreakerPolicy`): consecutive
+  timeouts open a worker's breaker (closed -> open -> half-open with a
+  single probe), steering traffic away from a "lemon" machine;
+- **heartbeat health checks** (:class:`HealthPolicy`): dead and hung
+  workers miss heartbeats, get evicted after ``miss_threshold`` misses,
+  and respawn after a warm (hang) or cold (crash) restart cost;
+- **graceful drain**: an evicted worker's in-flight requests are handed
+  back to the *front* of their model queue with the burned attempt
+  refunded (the failure was the server's, not the client's); a healthy
+  worker whose client timed out simply finishes -- its late completion
+  is still delivered if the request has no other result yet.
+
+Two conservation properties are structural, counted, and asserted by the
+``duet-chaos/1`` campaign (:mod:`repro.bench.chaos`):
+
+1. **no request is lost** -- every admitted request ends in exactly one
+   terminal record (completed, or failed with a terminal reason; a
+   per-request deadline backstops even the policy-free configuration);
+2. **no request completes twice** -- a request's first completion wins
+   and every later one is suppressed (counted as ``redundant``, never
+   delivered), so the client-visible duplicate count is zero.
+
+Interaction with admission (``overload.py``): retries and hedges are
+*internal* re-dispatches -- they never pass through the admission
+controller, so they consume no token-bucket tokens and can never starve
+fresh arrivals of admission capacity.  The queue-depth bound therefore
+applies to arrivals only; re-queued retries may transiently push the
+pending depth past it (recorded in ``max_queue_depth_seen``), and the
+overload ladder responds to that pressure exactly as it does to arrivals.
+
+With zero fault rates and the ``none`` policy this simulator reproduces
+the plain :class:`~repro.serving.server.ServingSimulator` record for
+record (property-tested in ``tests/serving/test_faulttol.py``): same
+batches, same stages, same cycle times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.reliability.workerfaults import (
+    FATE_CRASH,
+    FATE_HANG,
+    FATE_STRAGGLE,
+    WorkerFaultModel,
+    spawn_worker_streams,
+)
+from repro.serving.admission import AdmissionController
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.loadgen import TraceConfig, generate_trace
+from repro.serving.overload import SERVING_LADDER
+from repro.serving.request import (
+    COMPLETED,
+    FAIL_ATTEMPTS_EXHAUSTED,
+    FAIL_DEADLINE,
+    FAILED,
+    REJECTED,
+    Request,
+    RequestRecord,
+)
+from repro.serving.server import ServerConfig
+from repro.serving.slo import percentile
+from repro.serving.workers import BatchExecutor
+
+__all__ = [
+    "POLICY_LADDER",
+    "RetryPolicy",
+    "HedgePolicy",
+    "BreakerPolicy",
+    "HealthPolicy",
+    "FaultTolerancePolicy",
+    "policy_named",
+    "ChaosSummary",
+    "ChaosResult",
+    "FaultTolerantSimulator",
+    "simulate_chaos",
+]
+
+
+def _cycles(us: float, clock_hz: float) -> int:
+    """Simulated microseconds -> integer cycles."""
+    return int(round(us * 1e-6 * clock_hz))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-attempt timeout + bounded retries with seeded backoff jitter.
+
+    Attributes:
+        max_attempts: dispatches a request may consume (1 = no retries).
+            Hedges and server-side hand-backs do not count against it.
+        timeout_us: per-attempt timeout; an attempt older than this is
+            abandoned and the request re-queued (simulated us).
+        backoff_base_us: backoff before retry ``k`` (1-based) is
+            ``backoff_base_us * backoff_multiplier**(k-1)``, stretched by
+            jitter.
+        backoff_multiplier: exponential backoff growth factor.
+        jitter_fraction: each backoff is multiplied by ``1 + f*u`` with
+            ``u`` uniform in ``[0, 1)`` from the run's seeded policy
+            stream -- decorrelates retry herds without wall-clock
+            randomness.
+    """
+
+    max_attempts: int = 3
+    timeout_us: float = 150_000.0
+    backoff_base_us: float = 1_000.0
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"RetryPolicy.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_us <= 0:
+            raise ValueError(
+                f"RetryPolicy.timeout_us must be positive, got {self.timeout_us}"
+            )
+        if self.backoff_base_us < 0:
+            raise ValueError(
+                f"RetryPolicy.backoff_base_us must be >= 0, got "
+                f"{self.backoff_base_us}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"RetryPolicy.backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"RetryPolicy.jitter_fraction must be in [0, 1], got "
+                f"{self.jitter_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Tail-latency hedging: race slow attempts against a second worker.
+
+    Attributes:
+        initial_delay_us: hedge delay before enough attempt latencies
+            have been observed.
+        latency_percentile: once warmed up, hedge after this percentile
+            of observed attempt latencies (the classic p99 rule).
+        min_samples: observed attempt completions required before the
+            percentile replaces ``initial_delay_us``.
+    """
+
+    initial_delay_us: float = 50_000.0
+    latency_percentile: float = 99.0
+    min_samples: int = 20
+
+    def __post_init__(self):
+        if self.initial_delay_us <= 0:
+            raise ValueError(
+                f"HedgePolicy.initial_delay_us must be positive, got "
+                f"{self.initial_delay_us}"
+            )
+        if not 0.0 < self.latency_percentile <= 100.0:
+            raise ValueError(
+                f"HedgePolicy.latency_percentile must be in (0, 100], got "
+                f"{self.latency_percentile}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"HedgePolicy.min_samples must be >= 1, got {self.min_samples}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-worker circuit breaker: closed -> open -> half-open.
+
+    Attributes:
+        failure_threshold: consecutive attempt timeouts that open the
+            breaker.
+        reset_timeout_us: how long an open breaker blocks dispatches
+            before transitioning to half-open (one probe allowed; a
+            successful probe closes, a failed one re-opens).
+    """
+
+    failure_threshold: int = 3
+    reset_timeout_us: float = 500_000.0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"BreakerPolicy.failure_threshold must be >= 1, got "
+                f"{self.failure_threshold}"
+            )
+        if self.reset_timeout_us <= 0:
+            raise ValueError(
+                f"BreakerPolicy.reset_timeout_us must be positive, got "
+                f"{self.reset_timeout_us}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Heartbeat health checks with evict + warm/cold respawn.
+
+    Attributes:
+        heartbeat_us: heartbeat period; dead and hung workers miss beats.
+        miss_threshold: consecutive misses before eviction.
+        warm_restart_us: respawn cost of an evicted *hung* worker (the
+            process is alive; it gets a soft restart).
+        cold_restart_us: respawn cost of an evicted *crashed* worker
+            (full process start + model/weight reload).
+    """
+
+    heartbeat_us: float = 20_000.0
+    miss_threshold: int = 3
+    warm_restart_us: float = 50_000.0
+    cold_restart_us: float = 250_000.0
+
+    def __post_init__(self):
+        if self.heartbeat_us <= 0:
+            raise ValueError(
+                f"HealthPolicy.heartbeat_us must be positive, got "
+                f"{self.heartbeat_us}"
+            )
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"HealthPolicy.miss_threshold must be >= 1, got "
+                f"{self.miss_threshold}"
+            )
+        if self.warm_restart_us < 0 or self.cold_restart_us < 0:
+            raise ValueError(
+                "HealthPolicy restart costs must be >= 0, got "
+                f"warm={self.warm_restart_us} cold={self.cold_restart_us}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultTolerancePolicy:
+    """One named bundle of the four mechanisms (any subset enabled).
+
+    Attributes:
+        name: policy name as it appears in the chaos campaign.
+        retry / hedge / breaker / health: the enabled mechanisms
+            (``None`` disables each).
+        deadline_us: hard per-request deadline from admission; a request
+            with no completion by then terminally fails
+            (:data:`~repro.serving.request.FAIL_DEADLINE`).  This is the
+            conservation backstop -- it closes every admitted request
+            even under the mechanism-free ``none`` policy.
+    """
+
+    name: str
+    retry: RetryPolicy | None = None
+    hedge: HedgePolicy | None = None
+    breaker: BreakerPolicy | None = None
+    health: HealthPolicy | None = None
+    deadline_us: float = 2_000_000.0
+
+    def __post_init__(self):
+        if self.deadline_us <= 0:
+            raise ValueError(
+                f"FaultTolerancePolicy.deadline_us must be positive, got "
+                f"{self.deadline_us}"
+            )
+        if self.breaker is not None and self.retry is None:
+            raise ValueError(
+                "FaultTolerancePolicy.breaker requires retry: breaker "
+                "failures are attempt timeouts"
+            )
+        if self.retry is not None and self.deadline_us <= self.retry.timeout_us:
+            raise ValueError(
+                "FaultTolerancePolicy.deadline_us must exceed the attempt "
+                f"timeout, got deadline={self.deadline_us} <= "
+                f"timeout={self.retry.timeout_us}"
+            )
+
+
+#: The policy sweep of the chaos campaign, weakest to strongest.
+POLICY_LADDER: tuple[str, ...] = (
+    "none",
+    "retry",
+    "retry-hedge",
+    "retry-hedge-breaker",
+)
+
+
+def policy_named(name: str, deadline_us: float = 2_000_000.0) -> FaultTolerancePolicy:
+    """The default policy bundle of one :data:`POLICY_LADDER` rung.
+
+    ``none`` is mechanism-free (deadline backstop only); each later rung
+    adds one mechanism on top of the previous (health checks ride with
+    every rung that has retries -- they are server-side and policy
+    comparisons above ``none`` assume a self-healing pool).
+    """
+    if name not in POLICY_LADDER:
+        raise ValueError(
+            f"unknown fault-tolerance policy {name!r}; choose from "
+            f"{POLICY_LADDER}"
+        )
+    if name == "none":
+        return FaultTolerancePolicy(name=name, deadline_us=deadline_us)
+    retry = RetryPolicy()
+    health = HealthPolicy()
+    hedge = HedgePolicy() if "hedge" in name else None
+    breaker = BreakerPolicy() if "breaker" in name else None
+    return FaultTolerancePolicy(
+        name=name,
+        retry=retry,
+        hedge=hedge,
+        breaker=breaker,
+        health=health,
+        deadline_us=deadline_us,
+    )
+
+
+# -- internal event-loop state -------------------------------------------
+
+_ARRIVAL, _DONE, _TIMEOUT, _HEDGE, _RETRY, _DEADLINE = 0, 1, 2, 3, 4, 5
+_FLUSH, _BEAT, _RESPAWN, _CRASH, _WAKE = 6, 7, 8, 9, 10
+
+_IDLE, _BUSY, _HUNG, _DEAD, _RESTARTING = (
+    "idle",
+    "busy",
+    "hung",
+    "dead",
+    "restarting",
+)
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
+
+
+class _Breaker:
+    """Per-worker-slot breaker state (client-side view of the endpoint)."""
+
+    __slots__ = ("state", "failures", "open_until", "probe_in_flight")
+
+    def __init__(self):
+        self.state = _CLOSED
+        self.failures = 0
+        self.open_until = 0
+        self.probe_in_flight = False
+
+
+class _Worker:
+    """One worker slot: lifecycle state + the attempt it is serving."""
+
+    __slots__ = ("wid", "state", "generation", "attempt", "misses", "breaker")
+
+    def __init__(self, wid: int):
+        self.wid = wid
+        self.state = _IDLE
+        self.generation = 0
+        self.attempt: _Attempt | None = None
+        self.misses = 0
+        self.breaker = _Breaker()
+
+
+class _Attempt:
+    """One dispatched batch: requests, worker, fate, and liveness."""
+
+    __slots__ = (
+        "aid",
+        "requests",
+        "worker",
+        "generation",
+        "dispatch_cycle",
+        "stage",
+        "service_cycles",
+        "fate",
+        "is_hedge",
+        "live",
+        "abandoned",
+    )
+
+    def __init__(
+        self, aid, requests, worker, generation, dispatch_cycle, stage,
+        service_cycles, fate, is_hedge,
+    ):
+        self.aid = aid
+        self.requests = requests
+        self.worker = worker
+        self.generation = generation
+        self.dispatch_cycle = dispatch_cycle
+        self.stage = stage
+        self.service_cycles = service_cycles
+        self.fate = fate
+        self.is_hedge = is_hedge
+        self.live = True
+        self.abandoned = False
+
+
+class _Tracker:
+    """Per-admitted-request ledger: budget, outstanding attempts, closure."""
+
+    __slots__ = (
+        "request",
+        "tries",
+        "attempts",
+        "outstanding",
+        "done",
+        "retry_pending",
+        "hedged",
+    )
+
+    def __init__(self, request: Request):
+        self.request = request
+        self.tries = 0  # dispatches charged against the retry budget
+        self.attempts = 0  # all dispatches, hedges included
+        self.outstanding = 0  # live attempts currently carrying it
+        self.done = False
+        self.retry_pending = False
+        self.hedged = False
+
+
+@dataclass(frozen=True)
+class ChaosSummary:
+    """The account of one fault-tolerant serving run.
+
+    ``goodput_rps`` is *completed* requests per simulated second --
+    rejected and failed requests earn nothing, and the duration window
+    runs from the first arrival to the last *terminal* event
+    (completion or failure verdict), so a run that strands its clients
+    until their deadlines pays for that wall time.  ``duplicates`` counts
+    client-visible double completions and is structurally zero (the
+    first completion wins; later ones are counted in ``redundant`` and
+    suppressed).  ``lost`` counts admitted requests with no terminal
+    record and is likewise structurally zero (the per-request deadline
+    closes every straggler).
+    """
+
+    offered: int
+    admitted: int
+    completed: int
+    rejected: int
+    failed: int
+    rejects_by_reason: dict
+    fails_by_reason: dict
+    duration_ms: float
+    goodput_rps: float
+    success_rate: float
+    latency_ms: dict
+    dispatches: int
+    retries: int
+    hedges: int
+    hedge_wins: int
+    hedges_skipped: int
+    timeouts: int
+    late_completions: int
+    redundant: int
+    crashes: int
+    hangs: int
+    straggles: int
+    evictions: int
+    respawns_warm: int
+    respawns_cold: int
+    handed_back: int
+    breaker_opens: int
+    breaker_probes: int
+    duplicates: int
+    lost: int
+    stage_counts: dict
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (insertion-ordered, deterministic)."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "rejects_by_reason": dict(sorted(self.rejects_by_reason.items())),
+            "fails_by_reason": dict(sorted(self.fails_by_reason.items())),
+            "duration_ms": self.duration_ms,
+            "goodput_rps": self.goodput_rps,
+            "success_rate": self.success_rate,
+            "latency_ms": self.latency_ms,
+            "dispatches": self.dispatches,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "hedges_skipped": self.hedges_skipped,
+            "timeouts": self.timeouts,
+            "late_completions": self.late_completions,
+            "redundant": self.redundant,
+            "faults": {
+                "crashes": self.crashes,
+                "hangs": self.hangs,
+                "straggles": self.straggles,
+            },
+            "evictions": self.evictions,
+            "respawns_warm": self.respawns_warm,
+            "respawns_cold": self.respawns_cold,
+            "handed_back": self.handed_back,
+            "breaker_opens": self.breaker_opens,
+            "breaker_probes": self.breaker_probes,
+            "duplicates": self.duplicates,
+            "lost": self.lost,
+            "stage_counts": dict(self.stage_counts),
+        }
+
+    def format(self) -> str:
+        """Multi-line plain-text rendering for the CLI."""
+        lat = self.latency_ms
+        if lat["p50"] is None:
+            dist = "n/a"
+        else:
+            dist = (
+                f"p50 {lat['p50']:8.3f} ms  p95 {lat['p95']:8.3f} ms  "
+                f"p99 {lat['p99']:8.3f} ms  (max {lat['max']:.3f})"
+            )
+        lines = [
+            f"  requests   : {self.offered} offered, {self.admitted} admitted, "
+            f"{self.completed} completed, {self.failed} failed, "
+            f"{self.rejected} rejected",
+            f"  goodput    : {self.goodput_rps:.1f} req/s "
+            f"(success rate {self.success_rate:.3f}) over "
+            f"{self.duration_ms:.1f} ms simulated",
+            f"  latency    : {dist}",
+            f"  faults     : {self.crashes} crashes, {self.hangs} hangs, "
+            f"{self.straggles} straggles across {self.dispatches} dispatches",
+            f"  recovery   : {self.retries} retries, {self.hedges} hedges "
+            f"({self.hedge_wins} wins, {self.hedges_skipped} skipped), "
+            f"{self.timeouts} timeouts, {self.handed_back} handed back",
+            f"  fleet      : {self.evictions} evictions, "
+            f"{self.respawns_warm} warm + {self.respawns_cold} cold respawns, "
+            f"{self.breaker_opens} breaker opens "
+            f"({self.breaker_probes} probes)",
+            f"  invariants : duplicates={self.duplicates} lost={self.lost}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class ChaosResult:
+    """Everything one fault-tolerant serving run produced."""
+
+    config: ServerConfig
+    faults: WorkerFaultModel
+    policy: FaultTolerancePolicy
+    seed: int
+    records: list[RequestRecord]
+    summary: ChaosSummary
+    max_queue_depth_seen: int
+    simulated_cycles: int
+
+
+class FaultTolerantSimulator:
+    """Replays arrival traces against a faulty fleet under one policy.
+
+    Args:
+        config: the serving front end (same surface as the plain
+            simulator).
+        faults: the fleet's fault model.
+        policy: the fault-tolerance mechanisms to run with.
+        seed: root seed of the run's fault + policy-jitter streams
+            (:func:`repro.reliability.workerfaults.spawn_worker_streams`).
+        executor: optional injected batch executor (stub in tests).
+
+    One instance may be reused; every :meth:`run` resets all state.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        faults: WorkerFaultModel | None = None,
+        policy: FaultTolerancePolicy | None = None,
+        seed: int = 0,
+        executor: BatchExecutor | None = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        self.faults = faults if faults is not None else WorkerFaultModel()
+        self.policy = policy if policy is not None else policy_named("none")
+        self.seed = seed
+        self.executor = (
+            executor
+            if executor is not None
+            else BatchExecutor(config=self.config.hardware)
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _reset(self, trace: list[Request]) -> None:
+        cfg = self.config
+        clock_hz = cfg.hardware.clock_hz
+        policy = self.policy
+        self._batcher = DynamicBatcher(cfg.batch, clock_hz=clock_hz)
+        self._admission = AdmissionController(cfg.admission, clock_hz=clock_hz)
+        streams, jitter_rng = spawn_worker_streams(
+            self.seed, cfg.workers, self.faults
+        )
+        self._streams = streams
+        self._jitter_rng = jitter_rng
+        self._workers = [_Worker(w) for w in range(cfg.workers)]
+        self._trackers: dict[int, _Tracker] = {}
+        self._records: dict[int, RequestRecord] = {}
+        self._events: list[tuple[int, int, int, object]] = []
+        self._seq = 0
+        self._open_requests = 0
+        self._arrivals_remaining = len(trace)
+        self._attempt_latencies: list[int] = []
+        self._next_aid = 0
+        self._max_depth = 0
+        self._last_cycle = 0
+        self._deadline_cycles = _cycles(policy.deadline_us, clock_hz)
+        self._timeout_cycles = (
+            _cycles(policy.retry.timeout_us, clock_hz) if policy.retry else 0
+        )
+        self._heartbeat_cycles = (
+            _cycles(policy.health.heartbeat_us, clock_hz) if policy.health else 0
+        )
+        self._reset_cycles = (
+            _cycles(policy.breaker.reset_timeout_us, clock_hz)
+            if policy.breaker
+            else 0
+        )
+        self._counts = {
+            key: 0
+            for key in (
+                "dispatches",
+                "retries",
+                "hedges",
+                "hedge_wins",
+                "hedges_skipped",
+                "timeouts",
+                "late_completions",
+                "redundant",
+                "crashes",
+                "hangs",
+                "straggles",
+                "evictions",
+                "respawns_warm",
+                "respawns_cold",
+                "handed_back",
+                "breaker_opens",
+                "breaker_probes",
+                "duplicates",
+            )
+        }
+
+    def _push(self, cycle: int, kind: int, payload: object = None) -> None:
+        heapq.heappush(self._events, (cycle, self._seq, kind, payload))
+        self._seq += 1
+
+    def run(self, trace: list[Request]) -> ChaosResult:
+        """Simulate one trace to termination (every request closed)."""
+        self._reset(trace)
+        for request in trace:
+            self._push(request.arrival_cycle, _ARRIVAL, request)
+        if self._heartbeat_cycles:
+            self._push(self._heartbeat_cycles, _BEAT)
+
+        handlers = {
+            _ARRIVAL: self._on_arrival,
+            _DONE: self._on_done,
+            _TIMEOUT: self._on_timeout,
+            _HEDGE: self._on_hedge,
+            _RETRY: self._on_retry,
+            _DEADLINE: self._on_deadline,
+            _BEAT: self._on_beat,
+            _RESPAWN: self._on_respawn,
+            _CRASH: self._on_crash,
+        }
+        while self._events:
+            now, _, kind, payload = heapq.heappop(self._events)
+            self._last_cycle = max(self._last_cycle, now)
+            handler = handlers.get(kind)
+            if handler is not None:
+                handler(now, payload)
+            # _FLUSH and _WAKE exist only to trigger the dispatch pass
+            self._dispatch_pass(now)
+
+        return self._close(trace)
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_arrival(self, now: int, request: Request) -> None:
+        self._arrivals_remaining -= 1
+        reason = self._admission.admit(now, self._batcher.depth)
+        if reason is not None:
+            self._records[request.rid] = RequestRecord(
+                request, REJECTED, reject_reason=reason
+            )
+            return
+        self._trackers[request.rid] = _Tracker(request)
+        self._open_requests += 1
+        self._batcher.push(request)
+        self._max_depth = max(self._max_depth, self._batcher.depth)
+        self._push(now + self._deadline_cycles, _DEADLINE, request.rid)
+
+    def _on_done(self, now: int, attempt: _Attempt) -> None:
+        worker = self._workers[attempt.worker]
+        if worker.generation == attempt.generation and worker.attempt is attempt:
+            worker.state = _IDLE
+            worker.attempt = None
+            # A completion the client already timed out on is not a
+            # breaker success: the breaker tracks *client-perceived*
+            # outcomes, and this one was perceived as a failure.  The
+            # worker is still released -- it is alive, just slow.
+            if not attempt.abandoned:
+                self._breaker_success(worker)
+        was_live = attempt.live
+        attempt.live = False
+        if was_live:
+            self._attempt_latencies.append(now - attempt.dispatch_cycle)
+        for request in attempt.requests:
+            tracker = self._trackers[request.rid]
+            if was_live:
+                tracker.outstanding -= 1
+            if tracker.done:
+                record = self._records[request.rid]
+                if record.outcome == COMPLETED:
+                    self._counts["redundant"] += 1
+                continue
+            if attempt.abandoned:
+                self._counts["late_completions"] += 1
+            self._complete(now, tracker, attempt)
+
+    def _on_timeout(self, now: int, attempt: _Attempt) -> None:
+        if not attempt.live:
+            return
+        pending = [
+            r for r in attempt.requests if not self._trackers[r.rid].done
+        ]
+        if not pending:
+            return
+        attempt.live = False
+        attempt.abandoned = True
+        self._counts["timeouts"] += 1
+        self._breaker_failure(now, self._workers[attempt.worker])
+        for request in attempt.requests:
+            tracker = self._trackers[request.rid]
+            tracker.outstanding -= 1
+            if tracker.done or tracker.outstanding > 0 or tracker.retry_pending:
+                continue
+            if self.policy.retry and tracker.tries < self.policy.retry.max_attempts:
+                tracker.retry_pending = True
+                self._push(now + self._backoff(tracker.tries), _RETRY, request.rid)
+            else:
+                self._fail(now, tracker, FAIL_ATTEMPTS_EXHAUSTED)
+
+    def _on_hedge(self, now: int, attempt: _Attempt) -> None:
+        if self.policy.hedge is None or not attempt.live:
+            return
+        pending = [
+            r for r in attempt.requests if not self._trackers[r.rid].done
+        ]
+        if not pending:
+            return
+        wid = self._select_worker(now, exclude=attempt.worker)
+        if wid is None:
+            self._counts["hedges_skipped"] += 1
+            return
+        self._counts["hedges"] += 1
+        self._start_attempt(now, wid, pending, is_hedge=True)
+
+    def _on_retry(self, now: int, rid: int) -> None:
+        tracker = self._trackers[rid]
+        tracker.retry_pending = False
+        if tracker.done:
+            return
+        self._counts["retries"] += 1
+        self._batcher.push(tracker.request)
+        self._max_depth = max(self._max_depth, self._batcher.depth)
+
+    def _on_deadline(self, now: int, rid: int) -> None:
+        tracker = self._trackers[rid]
+        if not tracker.done:
+            self._fail(now, tracker, FAIL_DEADLINE)
+
+    def _on_beat(self, now: int, _payload: object) -> None:
+        health = self.policy.health
+        for worker in self._workers:
+            if worker.state in (_DEAD, _HUNG):
+                worker.misses += 1
+                if worker.misses >= health.miss_threshold:
+                    self._evict(now, worker)
+            else:
+                worker.misses = 0
+        if self._open_requests > 0 or self._arrivals_remaining > 0:
+            self._push(now + self._heartbeat_cycles, _BEAT)
+
+    def _on_respawn(self, now: int, payload: tuple[int, int]) -> None:
+        wid, generation = payload
+        worker = self._workers[wid]
+        if worker.generation != generation or worker.state != _RESTARTING:
+            return
+        worker.state = _IDLE
+        worker.attempt = None
+        worker.misses = 0
+
+    def _on_crash(self, now: int, payload: tuple[int, int]) -> None:
+        wid, generation = payload
+        worker = self._workers[wid]
+        if worker.generation != generation or worker.state != _BUSY:
+            return
+        worker.state = _DEAD
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _breaker_allows(self, now: int, worker: _Worker) -> bool:
+        if self.policy.breaker is None:
+            return True
+        breaker = worker.breaker
+        if breaker.state == _OPEN and now >= breaker.open_until:
+            breaker.state = _HALF_OPEN
+            breaker.probe_in_flight = False
+        if breaker.state == _CLOSED:
+            return True
+        if breaker.state == _HALF_OPEN:
+            return not breaker.probe_in_flight
+        return False
+
+    def _select_worker(self, now: int, exclude: int | None = None) -> int | None:
+        for worker in self._workers:  # ascending wid: smallest idle wins
+            if worker.state != _IDLE or worker.wid == exclude:
+                continue
+            if self._breaker_allows(now, worker):
+                return worker.wid
+        return None
+
+    def _backoff(self, tries: int) -> int:
+        retry = self.policy.retry
+        base = retry.backoff_base_us * retry.backoff_multiplier ** max(
+            tries - 1, 0
+        )
+        jitter = 1.0 + retry.jitter_fraction * float(self._jitter_rng.random())
+        return max(1, _cycles(base * jitter, self.config.hardware.clock_hz))
+
+    def _start_attempt(
+        self, now: int, wid: int, batch: list[Request], is_hedge: bool
+    ) -> None:
+        cfg = self.config
+        worker = self._workers[wid]
+        stage = cfg.overload.stage_for(
+            self._batcher.depth + len(batch), cfg.admission.max_queue_depth
+        )
+        result = self.executor.execute(
+            batch[0].model, [r.workload_seed for r in batch], stage=stage
+        )
+        fate = self._streams[wid].draw_fate()
+        service = result.service_cycles
+        if fate.kind == FATE_STRAGGLE:
+            service = int(service * self.faults.straggle_multiplier)
+        attempt = _Attempt(
+            aid=self._next_aid,
+            requests=batch,
+            worker=wid,
+            generation=worker.generation,
+            dispatch_cycle=now,
+            stage=stage,
+            service_cycles=service,
+            fate=fate,
+            is_hedge=is_hedge,
+        )
+        self._next_aid += 1
+        self._counts["dispatches"] += 1
+        worker.attempt = attempt
+        breaker = worker.breaker
+        if self.policy.breaker is not None and breaker.state == _HALF_OPEN:
+            breaker.probe_in_flight = True
+            self._counts["breaker_probes"] += 1
+        for request in batch:
+            tracker = self._trackers[request.rid]
+            tracker.attempts += 1
+            tracker.outstanding += 1
+            if is_hedge:
+                tracker.hedged = True
+            else:
+                tracker.tries += 1
+        if fate.kind == FATE_CRASH:
+            self._counts["crashes"] += 1
+            worker.state = _BUSY
+            dead_at = now + max(1, int(fate.crash_fraction * service))
+            self._push(dead_at, _CRASH, (wid, worker.generation))
+        elif fate.kind == FATE_HANG:
+            self._counts["hangs"] += 1
+            worker.state = _HUNG
+        else:
+            if fate.kind == FATE_STRAGGLE:
+                self._counts["straggles"] += 1
+            worker.state = _BUSY
+            self._push(now + service, _DONE, attempt)
+        if self.policy.retry is not None:
+            self._push(now + self._timeout_cycles, _TIMEOUT, attempt)
+        if self.policy.hedge is not None and not is_hedge:
+            self._push(now + self._hedge_delay(), _HEDGE, attempt)
+
+    def _hedge_delay(self) -> int:
+        hedge = self.policy.hedge
+        if len(self._attempt_latencies) >= hedge.min_samples:
+            return max(
+                1,
+                int(
+                    percentile(
+                        sorted(self._attempt_latencies), hedge.latency_percentile
+                    )
+                ),
+            )
+        return max(1, _cycles(hedge.initial_delay_us, self.config.hardware.clock_hz))
+
+    def _dispatch_pass(self, now: int) -> None:
+        worker_free = False
+        while True:
+            wid = self._select_worker(now)
+            if wid is None:
+                break
+            batch = None
+            while True:
+                popped = self._batcher.pop_batch(now)
+                if popped is None:
+                    break
+                live = [
+                    r for r in popped if not self._trackers[r.rid].done
+                ]
+                if live:
+                    batch = live
+                    break
+            if batch is None:
+                worker_free = True
+                break
+            self._start_attempt(now, wid, batch, is_hedge=False)
+        if worker_free and self._batcher.depth:
+            flush = self._batcher.next_flush_cycle()
+            if flush is not None:
+                self._push(max(flush, now + 1), _FLUSH)
+
+    # -- recovery machinery ------------------------------------------------
+
+    def _breaker_success(self, worker: _Worker) -> None:
+        if self.policy.breaker is None:
+            return
+        breaker = worker.breaker
+        breaker.failures = 0
+        breaker.probe_in_flight = False
+        breaker.state = _CLOSED
+
+    def _breaker_failure(self, now: int, worker: _Worker) -> None:
+        if self.policy.breaker is None:
+            return
+        breaker = worker.breaker
+        breaker.failures += 1
+        if breaker.state == _HALF_OPEN or (
+            breaker.state == _CLOSED
+            and breaker.failures >= self.policy.breaker.failure_threshold
+        ):
+            breaker.state = _OPEN
+            breaker.open_until = now + self._reset_cycles
+            breaker.probe_in_flight = False
+            self._counts["breaker_opens"] += 1
+            self._push(breaker.open_until, _WAKE)
+
+    def _evict(self, now: int, worker: _Worker) -> None:
+        """Evict a dead/hung worker: hand its work back, schedule respawn."""
+        health = self.policy.health
+        cold = worker.state == _DEAD
+        attempt = worker.attempt
+        if attempt is not None and attempt.live:
+            attempt.live = False
+            for request in attempt.requests:
+                tracker = self._trackers[request.rid]
+                tracker.outstanding -= 1
+                if tracker.done:
+                    continue
+                # graceful drain: hand the request back to the front of
+                # its queue and refund the charged attempt -- the loss
+                # was the server's fault, not the client's budget
+                if not attempt.is_hedge:
+                    tracker.tries = max(tracker.tries - 1, 0)
+                self._counts["handed_back"] += 1
+                self._batcher.push_front(request)
+                self._max_depth = max(self._max_depth, self._batcher.depth)
+        worker.attempt = None
+        worker.state = _RESTARTING
+        worker.generation += 1
+        worker.misses = 0
+        self._counts["evictions"] += 1
+        if cold:
+            self._counts["respawns_cold"] += 1
+            restart = _cycles(
+                health.cold_restart_us, self.config.hardware.clock_hz
+            )
+        else:
+            self._counts["respawns_warm"] += 1
+            restart = _cycles(
+                health.warm_restart_us, self.config.hardware.clock_hz
+            )
+        self._push(now + max(1, restart), _RESPAWN, (worker.wid, worker.generation))
+
+    # -- closure -----------------------------------------------------------
+
+    def _complete(self, now: int, tracker: _Tracker, attempt: _Attempt) -> None:
+        tracker.done = True
+        self._open_requests -= 1
+        if attempt.is_hedge:
+            self._counts["hedge_wins"] += 1
+        self._records[tracker.request.rid] = RequestRecord(
+            tracker.request,
+            COMPLETED,
+            stage=attempt.stage,
+            batch_size=len(attempt.requests),
+            dispatch_cycle=attempt.dispatch_cycle,
+            completion_cycle=now,
+            attempts=tracker.attempts,
+            hedged=attempt.is_hedge,
+        )
+
+    def _fail(self, now: int, tracker: _Tracker, reason: str) -> None:
+        tracker.done = True
+        self._open_requests -= 1
+        self._records[tracker.request.rid] = RequestRecord(
+            tracker.request,
+            FAILED,
+            reject_reason=reason,
+            completion_cycle=now,  # when the client stopped waiting
+            attempts=tracker.attempts,
+        )
+
+    def _close(self, trace: list[Request]) -> ChaosResult:
+        lost = 0
+        for rid, tracker in self._trackers.items():
+            if not tracker.done:
+                # structurally unreachable (the deadline closes every
+                # request); counted rather than asserted so the campaign
+                # invariant, not a crash, reports any future regression
+                lost += 1
+                self._fail(self._last_cycle, tracker, FAIL_DEADLINE)
+        records = [self._records[request.rid] for request in trace]
+        summary = self._summarize(records, lost)
+        return ChaosResult(
+            config=self.config,
+            faults=self.faults,
+            policy=self.policy,
+            seed=self.seed,
+            records=records,
+            summary=summary,
+            max_queue_depth_seen=self._max_depth,
+            simulated_cycles=self._last_cycle,
+        )
+
+    def _summarize(self, records: list[RequestRecord], lost: int) -> ChaosSummary:
+        clock_hz = self.config.hardware.clock_hz
+        to_ms = lambda cycles: cycles / clock_hz * 1e3  # noqa: E731
+        completed = [r for r in records if r.completed]
+        rejected = [r for r in records if r.outcome == REJECTED]
+        failed = [r for r in records if r.failed]
+        rejects_by_reason: dict = {}
+        for r in rejected:
+            reason = r.reject_reason or "unknown"
+            rejects_by_reason[reason] = rejects_by_reason.get(reason, 0) + 1
+        fails_by_reason: dict = {}
+        for r in failed:
+            reason = r.reject_reason or "unknown"
+            fails_by_reason[reason] = fails_by_reason.get(reason, 0) + 1
+
+        start = min((r.request.arrival_cycle for r in records), default=0)
+        end = max(
+            (
+                r.completion_cycle
+                if r.completion_cycle is not None
+                else r.request.arrival_cycle
+                for r in records
+            ),
+            default=0,
+        )
+        duration_cycles = max(end - start, 0)
+        duration_s = duration_cycles / clock_hz
+
+        latencies = sorted(to_ms(r.latency_cycles) for r in completed)
+        if latencies:
+            latency_ms = {
+                "p50": percentile(latencies, 50),
+                "p95": percentile(latencies, 95),
+                "p99": percentile(latencies, 99),
+                "mean": sum(latencies) / len(latencies),
+                "max": latencies[-1],
+            }
+        else:
+            latency_ms = {
+                "p50": None, "p95": None, "p99": None, "mean": None, "max": None,
+            }
+
+        stage_counts = {stage: 0 for stage in SERVING_LADDER}
+        for r in completed:
+            if r.stage is not None:
+                stage_counts[r.stage] = stage_counts.get(r.stage, 0) + 1
+
+        admitted = len(completed) + len(failed)
+        return ChaosSummary(
+            offered=len(records),
+            admitted=admitted,
+            completed=len(completed),
+            rejected=len(rejected),
+            failed=len(failed),
+            rejects_by_reason=rejects_by_reason,
+            fails_by_reason=fails_by_reason,
+            duration_ms=to_ms(duration_cycles),
+            goodput_rps=len(completed) / duration_s if duration_s > 0 else 0.0,
+            success_rate=len(completed) / admitted if admitted else 0.0,
+            latency_ms=latency_ms,
+            duplicates=self._counts["duplicates"],
+            lost=lost,
+            stage_counts=stage_counts,
+            **{
+                key: self._counts[key]
+                for key in self._counts
+                if key != "duplicates"
+            },
+        )
+
+
+def simulate_chaos(
+    trace: TraceConfig | list[Request],
+    config: ServerConfig | None = None,
+    faults: WorkerFaultModel | None = None,
+    policy: FaultTolerancePolicy | None = None,
+    seed: int = 0,
+    executor: BatchExecutor | None = None,
+) -> ChaosResult:
+    """Convenience wrapper: generate (if needed) and replay one trace."""
+    if isinstance(trace, TraceConfig):
+        trace = generate_trace(trace)
+    simulator = FaultTolerantSimulator(
+        config=config, faults=faults, policy=policy, seed=seed, executor=executor
+    )
+    return simulator.run(trace)

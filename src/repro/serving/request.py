@@ -10,7 +10,10 @@ discrete-event and therefore exactly reproducible.
 
 A :class:`RequestRecord` is the request's final account: completed (with
 its dispatch/completion times, batch, and the degradation-ladder rung it
-was served at) or rejected (with the 429-style reason).
+was served at), rejected (with the 429-style reason), or -- under the
+fault-tolerant simulator only -- failed (admitted, but every attempt the
+policy allowed was lost to worker faults; the 503-style terminal reason
+names what exhausted it).
 """
 
 from __future__ import annotations
@@ -20,8 +23,11 @@ from dataclasses import dataclass
 __all__ = [
     "COMPLETED",
     "REJECTED",
+    "FAILED",
     "REJECT_QUEUE_FULL",
     "REJECT_RATE_LIMITED",
+    "FAIL_ATTEMPTS_EXHAUSTED",
+    "FAIL_DEADLINE",
     "Request",
     "RequestRecord",
 ]
@@ -30,11 +36,19 @@ __all__ = [
 COMPLETED = "completed"
 #: Outcome of a request the admission controller turned away.
 REJECTED = "rejected"
+#: Outcome of an admitted request whose every allowed attempt was lost to
+#: worker faults (fault-tolerant simulator only).
+FAILED = "failed"
 
 #: Reject reason: the pending queue was at its configured bound.
 REJECT_QUEUE_FULL = "queue-full"
 #: Reject reason: the token-bucket rate limiter was empty.
 REJECT_RATE_LIMITED = "rate-limited"
+
+#: Fail reason: the retry budget ran out before any attempt completed.
+FAIL_ATTEMPTS_EXHAUSTED = "attempts-exhausted"
+#: Fail reason: the per-request deadline passed with no completion.
+FAIL_DEADLINE = "deadline"
 
 
 @dataclass(frozen=True)
@@ -67,14 +81,21 @@ class RequestRecord:
 
     Attributes:
         request: the request this record closes.
-        outcome: :data:`COMPLETED` or :data:`REJECTED`.
+        outcome: :data:`COMPLETED`, :data:`REJECTED`, or :data:`FAILED`.
         reject_reason: :data:`REJECT_QUEUE_FULL` / :data:`REJECT_RATE_LIMITED`
-            when rejected, else None.
+            when rejected, the ``FAIL_*`` terminal reason when failed,
+            else None.
         stage: degradation-ladder rung the request was served at
-            (``DUET``..``OS``); None when rejected.
+            (``DUET``..``OS``); None when rejected or failed.
         batch_size: size of the dispatched batch the request rode in.
         dispatch_cycle: cycle its batch started service.
-        completion_cycle: cycle its batch finished service.
+        completion_cycle: cycle its batch finished service when
+            completed; the cycle the terminal failure verdict was
+            rendered when failed (the client stopped waiting then).
+        attempts: dispatch attempts the fault-tolerant simulator made
+            (0 under the plain simulator, which needs exactly one and
+            does not track them).
+        hedged: True when the winning attempt was a hedge re-dispatch.
     """
 
     request: Request
@@ -84,11 +105,18 @@ class RequestRecord:
     batch_size: int | None = None
     dispatch_cycle: int | None = None
     completion_cycle: int | None = None
+    attempts: int = 0
+    hedged: bool = False
 
     @property
     def completed(self) -> bool:
         """True when the request was served to completion."""
         return self.outcome == COMPLETED
+
+    @property
+    def failed(self) -> bool:
+        """True when the request was admitted but terminally failed."""
+        return self.outcome == FAILED
 
     @property
     def queue_cycles(self) -> int:

@@ -1,0 +1,22 @@
+"""Bounded, seeded, event-clocked retry helpers (the REL003-clean mirror)."""
+
+import numpy as np
+
+
+def dispatch_with_retries(scheduler, request, policy, seed):
+    rng = np.random.default_rng(seed)
+    tries = 0
+    while tries < policy.max_attempts:
+        tries += 1
+        delay_us = 1_000.0 * (2.0 ** tries) * (1.0 + 0.5 * float(rng.random()))
+        scheduler.push(scheduler.now + int(delay_us * 1_000.0), request)
+    return tries
+
+
+def drain_queue(queue):
+    # constant-true loops are fine when they can actually exit
+    while True:
+        item = queue.pop()
+        if item is None:
+            return
+        item.cancel()

@@ -1,0 +1,18 @@
+"""REL003 bait: unbounded retry loop, wall-clock sleep, unseeded jitter."""
+
+import time
+
+import numpy as np
+
+
+def wait_for_worker(worker):
+    # constant-true loop with no break/return/raise: never terminates
+    while True:
+        if worker.ready():
+            worker.mark_healthy()
+        time.sleep(0.05)
+
+
+def backoff_jitter_us(attempt):
+    rng = np.random.default_rng()
+    return 1_000.0 * (2.0 ** attempt) * float(rng.random())

@@ -64,6 +64,7 @@ class TestCommittedDocuments:
             ("BENCH_duet.json", "duet-bench/1"),
             ("BENCH_serving.json", "duet-serve/1"),
             ("BENCH_faults.json", "duet-faults/1"),
+            ("BENCH_chaos.json", "duet-chaos/1"),
             (".duetlint-baseline.json", "duetlint-baseline/1"),
         ],
     )

@@ -19,6 +19,7 @@ from repro.parallel import (
     preferred_start_method,
     run_sharded,
     spawn_task_seeds,
+    warm_cache,
 )
 
 # ---------------------------------------------------------------------------
@@ -178,3 +179,38 @@ class TestShardedRunMetrics:
         )
         assert run.worker_efficiency == 0.0
         assert run.speedup_vs_serial_est == 0.0
+
+
+class TestWarmCache:
+    def test_runs_lowest_index_task_inline(self):
+        tasks = [
+            CampaignTask(index=i, fn=_square, kwargs={"x": i})
+            for i in (3, 1, 2)
+        ]
+        warm_task, result, busy, delta = warm_cache(tasks)
+        assert warm_task.index == 1
+        assert result == 1
+        assert busy == 0.0
+        assert delta == {}
+
+    def test_empty_work_list(self):
+        assert warm_cache([]) == (None, None, 0.0, {})
+
+    def test_injected_clock_and_stats(self):
+        clock = iter([1.0, 3.5]).__next__
+        stats = lambda: {"hits": _CALLS["n"]}  # noqa: E731
+        tasks = [CampaignTask(index=0, fn=_counting_task, kwargs={})]
+        _, result, busy, delta = warm_cache(tasks, clock=clock, stats=stats)
+        assert busy == pytest.approx(2.5)
+        assert delta == {"hits": 1}
+
+    def test_pool_results_identical_with_and_without_warming(self):
+        seeds = spawn_task_seeds(7, 5)
+        tasks = [
+            CampaignTask(index=i, fn=_tag, kwargs={"index": i, "seed": s})
+            for i, s in enumerate(seeds)
+        ]
+        warmed = run_sharded(tasks, jobs=2, warm=True)
+        cold = run_sharded(tasks, jobs=2, warm=False)
+        assert warmed.results == cold.results
+        assert warmed.jobs == cold.jobs == 2

@@ -1,0 +1,186 @@
+"""Tests for the seeded worker-fault streams (crash / hang / straggle)."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.workerfaults import (
+    FATE_CRASH,
+    FATE_HANG,
+    FATE_OK,
+    FATE_STRAGGLE,
+    WorkerFaultModel,
+    WorkerFaultStream,
+    spawn_worker_streams,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    HAVE_HYPOTHESIS = False
+
+
+class TestWorkerFaultModel:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            WorkerFaultModel(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            WorkerFaultModel(hang_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkerFaultModel(straggle_multiplier=0.5)
+        with pytest.raises(ValueError):
+            WorkerFaultModel(hot_workers=-1)
+        with pytest.raises(ValueError):
+            WorkerFaultModel(hot_multiplier=0.9)
+
+    def test_hot_total_must_stay_below_one(self):
+        # 3 x (0.2 + 0.1 + 0.1) = 1.2: a hot worker could never succeed
+        with pytest.raises(ValueError, match="hot"):
+            WorkerFaultModel(
+                crash_rate=0.2,
+                hang_rate=0.1,
+                straggle_rate=0.1,
+                hot_workers=1,
+                hot_multiplier=3.0,
+            )
+
+    def test_rates_for_scales_hot_slots_only(self):
+        model = WorkerFaultModel(
+            crash_rate=0.1,
+            hang_rate=0.05,
+            straggle_rate=0.1,
+            hot_workers=2,
+            hot_multiplier=3.0,
+        )
+        assert model.rates_for(0) == pytest.approx((0.3, 0.15, 0.3))
+        assert model.rates_for(1) == pytest.approx((0.3, 0.15, 0.3))
+        assert model.rates_for(2) == pytest.approx((0.1, 0.05, 0.1))
+        assert model.total_rate(hot=True) == pytest.approx(0.75)
+        assert model.total_rate(hot=False) == pytest.approx(0.25)
+
+    def test_faulty_flag(self):
+        assert not WorkerFaultModel().faulty
+        assert WorkerFaultModel(straggle_rate=0.01).faulty
+
+
+def _fates(seed: int, worker: int, model: WorkerFaultModel, n: int):
+    streams, _ = spawn_worker_streams(seed, worker + 1, model)
+    return [streams[worker].draw_fate() for _ in range(n)]
+
+
+class TestWorkerFaultStream:
+    def test_fate_k_is_pure_function_of_seed_worker_k(self):
+        model = WorkerFaultModel(crash_rate=0.2, hang_rate=0.1, straggle_rate=0.2)
+        assert _fates(3, 1, model, 50) == _fates(3, 1, model, 50)
+
+    def test_fixed_draw_consumption_across_models(self):
+        # the stream consumes two uniforms per dispatch regardless of
+        # the drawn fate, so the *selector* sequence is model-independent:
+        # draw k under a zero-rate model and a faulty model stay aligned
+        quiet = WorkerFaultModel()
+        noisy = WorkerFaultModel(crash_rate=0.3, hang_rate=0.2, straggle_rate=0.3)
+        quiet_fates = _fates(11, 0, quiet, 40)
+        noisy_fates = _fates(11, 0, noisy, 40)
+        assert all(f.kind == FATE_OK for f in quiet_fates)
+        assert any(f.kind != FATE_OK for f in noisy_fates)
+
+    def test_streams_are_independent_per_worker(self):
+        model = WorkerFaultModel(crash_rate=0.2, hang_rate=0.2, straggle_rate=0.2)
+        streams, _ = spawn_worker_streams(0, 2, model)
+        a = [streams[0].draw_fate() for _ in range(30)]
+        b = [streams[1].draw_fate() for _ in range(30)]
+        assert a != b
+
+    def test_prefix_stability_adding_workers(self):
+        # SeedSequence.spawn children are prefix-stable: growing the
+        # fleet never reshuffles the existing slots' fate streams
+        model = WorkerFaultModel(crash_rate=0.1, straggle_rate=0.3)
+        small, _ = spawn_worker_streams(5, 2, model)
+        large, _ = spawn_worker_streams(5, 6, model)
+        for w in range(2):
+            assert [small[w].draw_fate() for _ in range(20)] == [
+                large[w].draw_fate() for _ in range(20)
+            ]
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerFaultStream(np.random.default_rng(0), WorkerFaultModel(), -1)
+        with pytest.raises(ValueError):
+            spawn_worker_streams(0, 0, WorkerFaultModel())
+
+
+class TestCommonRandomNumbersNesting:
+    """The theorem behind the chaos bench's monotonicity diagnostic.
+
+    With one shared seed and fault rates scaled proportionally, the
+    fate regions ``[0, crash) | [crash, crash+hang) | ... `` grow
+    monotonically with the total rate, so the set of *faulty* draw
+    indices at a lower rate nests inside the set at a higher rate.
+    """
+
+    def _faulty_indices(self, seed, total_rate, n=200):
+        model = WorkerFaultModel(
+            crash_rate=0.4 * total_rate,
+            hang_rate=0.2 * total_rate,
+            straggle_rate=0.4 * total_rate,
+        )
+        fates = _fates(seed, 0, model, n)
+        return {i for i, f in enumerate(fates) if f.kind != FATE_OK}
+
+    def test_faulty_sets_nest_as_rates_scale(self):
+        for seed in (0, 1, 7):
+            low = self._faulty_indices(seed, 0.05)
+            mid = self._faulty_indices(seed, 0.15)
+            high = self._faulty_indices(seed, 0.3)
+            assert low <= mid <= high
+
+    def test_severity_never_decreases_at_matched_draws(self):
+        # crash outranks hang outranks straggle in the region layout;
+        # raising the rate can only move a draw toward a harsher fate
+        rank = {FATE_CRASH: 3, FATE_HANG: 2, FATE_STRAGGLE: 1, FATE_OK: 0}
+        for seed in (0, 2):
+            lows = _fates(
+                seed,
+                0,
+                WorkerFaultModel(
+                    crash_rate=0.04, hang_rate=0.02, straggle_rate=0.04
+                ),
+                200,
+            )
+            highs = _fates(
+                seed,
+                0,
+                WorkerFaultModel(
+                    crash_rate=0.12, hang_rate=0.06, straggle_rate=0.12
+                ),
+                200,
+            )
+            assert all(
+                rank[hi.kind] >= rank[lo.kind] for lo, hi in zip(lows, highs)
+            )
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        crash=st.floats(min_value=0.0, max_value=0.3),
+        hang=st.floats(min_value=0.0, max_value=0.3),
+        straggle=st.floats(min_value=0.0, max_value=0.3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_draw_fate_is_well_formed(seed, crash, hang, straggle):
+        model = WorkerFaultModel(
+            crash_rate=crash, hang_rate=hang, straggle_rate=straggle
+        )
+        streams, jitter = spawn_worker_streams(seed, 2, model)
+        for stream in streams:
+            for _ in range(20):
+                fate = stream.draw_fate()
+                assert fate.kind in (FATE_OK, FATE_CRASH, FATE_HANG, FATE_STRAGGLE)
+                assert 0.0 <= fate.crash_fraction < 1.0
+                if fate.kind != FATE_CRASH:
+                    assert fate.crash_fraction == 0.0
+            assert stream.drawn == 20
+        assert 0.0 <= float(jitter.random()) < 1.0

@@ -182,3 +182,32 @@ class TestLoadgen:
         assert code == 2
         assert out == ""
         assert err.startswith("error:")
+
+
+class TestChaos:
+    def test_smoke_sweep(self, tmp_path):
+        output = tmp_path / "BENCH_chaos.json"
+        code, text = run_cli(
+            "chaos", "--smoke", "--no-perf", "--output", str(output),
+        )
+        assert code == 0
+        for rung in ("none", "retry", "retry-hedge", "retry-hedge-breaker"):
+            assert rung in text
+        assert "zero_lost=True" in text
+        assert "zero_duplicates=True" in text
+        assert "dominance at fault rate" in text
+        assert "(holds)" in text
+        assert output.exists()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("chaos", "--workers", "0"),
+            ("chaos", "--jobs", "0"),
+        ],
+    )
+    def test_bad_values_exit_2(self, argv):
+        code, out, err = run_cli_err(*argv)
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error:")
