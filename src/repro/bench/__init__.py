@@ -16,6 +16,10 @@ simulated results for any worker count:
 - ``BENCH_chaos.json`` (``python -m repro chaos``): the fault-tolerant
   serving sweep -- fault rate x recovery policy, with conservation and
   dominance verdicts (:mod:`repro.bench.chaos`).
+- ``BENCH_fleet.json`` (``python -m repro fleet``): the fleet-tier
+  campaign -- sharded servers, SLO-class scheduling, autoscaling, and
+  closed-loop clients, with goodput-dominance and autoscale verdicts
+  (:mod:`repro.bench.fleet`).
 
 Modules:
 
@@ -36,6 +40,12 @@ for the paper-figure mapping of every bench file.
 from repro.bench.chaos import CHAOS_SCHEMA, chaos_cells, run_chaos_bench
 from repro.bench.document import deterministic_view
 from repro.bench.faults import FAULTS_SCHEMA, fault_matrix, run_fault_matrix
+from repro.bench.fleet import (
+    FLEET_SCHEMA,
+    fleet_scenarios,
+    run_fleet_bench,
+    serving_capacity_rps,
+)
 from repro.bench.harness import (
     BENCH_SCHEMA,
     discover_bench_files,
@@ -50,6 +60,7 @@ __all__ = [
     "BenchSuite",
     "CHAOS_SCHEMA",
     "FAULTS_SCHEMA",
+    "FLEET_SCHEMA",
     "SERVE_SCHEMA",
     "SUITES",
     "suite_names",
@@ -57,10 +68,13 @@ __all__ = [
     "deterministic_view",
     "discover_bench_files",
     "fault_matrix",
+    "fleet_scenarios",
     "run_bench",
     "run_chaos_bench",
     "run_fault_matrix",
+    "run_fleet_bench",
     "run_serving_bench",
     "run_suite",
     "serve_scenarios",
+    "serving_capacity_rps",
 ]

@@ -18,6 +18,9 @@ Commands:
   ``BENCH_serving.json``.
 - ``chaos``                 run the fault-tolerant serving sweep (fault
   rate x recovery policy) and write ``BENCH_chaos.json``.
+- ``fleet``                 run the fleet-scale sharded-serving campaign
+  (sharding, SLO classes, autoscaling, closed loop) and write
+  ``BENCH_fleet.json``.
 - ``lint``                  run duetlint, the project-specific static
   analysis (exit 0 clean, 1 findings, 2 usage error).
 
@@ -38,6 +41,7 @@ from repro.bench import (
     run_bench,
     run_chaos_bench,
     run_fault_matrix,
+    run_fleet_bench,
     run_serving_bench,
 )
 from repro.models import MODEL_REGISTRY, get_model_spec
@@ -290,6 +294,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="result path (default BENCH_chaos.json at the repo root)",
     )
     p_chaos.add_argument(
+        "--no-perf", action="store_true",
+        help=(
+            "omit the wall-clock perf block and history so documents "
+            "compare byte-identical across worker counts"
+        ),
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "run the fleet-scale sharded-serving campaign (sharding, SLO "
+            "classes, autoscaling, closed loop), write BENCH_fleet.json"
+        ),
+    )
+    p_fleet.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized scenarios (150 requests / 6 clients) instead of full",
+    )
+    p_fleet.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    p_fleet.add_argument(
+        "--slow-path", action="store_true",
+        help="simulate on the per-event slow-path oracle instead",
+    )
+    p_fleet.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (simulated results identical for any N)",
+    )
+    p_fleet.add_argument(
+        "--output", default="BENCH_fleet.json",
+        help="result path (default BENCH_fleet.json at the repo root)",
+    )
+    p_fleet.add_argument(
+        "--capacity-source", default="BENCH_serving.json",
+        help=(
+            "measured BENCH_serving.json feeding placement decisions "
+            "(default BENCH_serving.json; missing file uses the recorded "
+            "fallback capacity)"
+        ),
+    )
+    p_fleet.add_argument(
         "--no-perf", action="store_true",
         help=(
             "omit the wall-clock perf block and history so documents "
@@ -675,6 +719,61 @@ def _cmd_chaos(args, out) -> int:
     return 0 if all(verdicts.values()) else 1
 
 
+def _cmd_fleet(args, out) -> int:
+    if args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
+    out.write(
+        f"{'scenario':>20s} {'offered':>8s} {'done':>5s} {'rej':>5s} "
+        f"{'good/s':>8s} {'p95 ms':>9s} {'peak':>5s} {'out':>4s} {'in':>4s} "
+        f"{'util':>5s}\n"
+    )
+
+    def _progress(record):
+        summary = record["summary"]
+        p95 = summary["latency_ms"]["p95"]
+        p95_text = f"{p95:9.3f}" if p95 is not None else f"{'n/a':>9s}"
+        out.write(
+            f"{record['name']:>20s} {summary['offered']:8d} "
+            f"{summary['completed']:5d} {summary['rejected']:5d} "
+            f"{record['goodput_rps']:8.1f} {p95_text} "
+            f"{record['peak_servers']:5d} {record['scale_outs']:4d} "
+            f"{record['scale_ins']:4d} {record['shard_utilization']:5.2f}\n"
+        )
+
+    document = run_fleet_bench(
+        smoke=args.smoke,
+        root_seed=args.seed,
+        fast_path=not args.slow_path,
+        jobs=args.jobs,
+        output=args.output,
+        capacity_source=args.capacity_source,
+        with_perf=not args.no_perf,
+        progress=_progress,
+    )
+    feed = document["capacity_feed"]
+    out.write(
+        f"capacity feed: {feed['server_capacity_rps']:.1f} req/s per server "
+        f"from {feed['source']} -> {feed['nominal_servers']} server(s) at "
+        f"{feed['nominal_rate_rps']:g} req/s offered\n"
+    )
+    verdicts = document["verdicts"]
+    dominance = document["dominance"]
+    speedup = dominance["speedup"]
+    speedup_text = f"{speedup:.2f}x" if speedup is not None else "n/a"
+    out.write(
+        f"goodput dominance: sharded fleet "
+        f"{dominance['sharded_goodput_rps']:.1f} req/s vs single chip "
+        f"{dominance['baseline_goodput_rps']:.1f} req/s ({speedup_text}, "
+        f"{'holds' if verdicts['goodput_dominance'] else 'FAILS'})\n"
+    )
+    out.write(
+        f"autoscale out observed: {verdicts['autoscale_out_observed']}  "
+        f"closed loop conserved: {verdicts['closed_loop_conserved']}; "
+        f"results in {args.output}\n"
+    )
+    return 0 if all(verdicts.values()) else 1
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "simulate": _cmd_simulate,
@@ -686,6 +785,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "lint": cmd_lint,
 }
 

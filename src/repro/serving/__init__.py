@@ -17,12 +17,18 @@ Entry points:
   front end over a *faulty* fleet (crash/hang/straggle) with retries,
   hedging, circuit breakers, and health-checked respawn
   (:mod:`repro.serving.faulttol`).
+- :func:`simulate_fleet` / :class:`FleetSimulator` -- the fleet tier:
+  N sharded servers (:mod:`repro.serving.sharding`) behind a router
+  with per-model SLO classes, priority scheduling, occupancy-driven
+  autoscaling, and closed-loop clients (:mod:`repro.serving.fleet`).
 - :func:`generate_trace` -- seeded Poisson / bursty arrival traces.
 - ``python -m repro serve`` -- one campaign, human-readable SLO report.
 - ``python -m repro loadgen`` -- the scenario campaign behind
   ``BENCH_serving.json`` (:mod:`repro.bench.serving`).
 - ``python -m repro chaos`` -- the fault-rate x policy campaign behind
   ``BENCH_chaos.json`` (:mod:`repro.bench.chaos`).
+- ``python -m repro fleet`` -- the fleet scenario campaign behind
+  ``BENCH_fleet.json`` (:mod:`repro.bench.fleet`).
 
 See ``docs/serving.md`` for the queueing model and SLO semantics, and
 ``docs/fault_tolerance.md`` for the fault model and recovery machinery.
@@ -43,7 +49,23 @@ from repro.serving.faulttol import (
     policy_named,
     simulate_chaos,
 )
-from repro.serving.loadgen import ARRIVAL_PROCESSES, TraceConfig, generate_trace
+from repro.serving.fleet import (
+    DEFAULT_SLO_CLASSES,
+    AutoscalerPolicy,
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    PriorityBatcher,
+    SloClass,
+    initial_fleet_size,
+    simulate_fleet,
+)
+from repro.serving.loadgen import (
+    ARRIVAL_PROCESSES,
+    ClosedLoopConfig,
+    TraceConfig,
+    generate_trace,
+)
 from repro.serving.overload import SERVING_LADDER, OverloadPolicy
 from repro.serving.request import (
     COMPLETED,
@@ -62,6 +84,16 @@ from repro.serving.server import (
     ServingSimulator,
     simulate_serving,
 )
+from repro.serving.sharding import (
+    SPLIT_KINDS,
+    GlbPartition,
+    ShardPlan,
+    ShardedBatchResult,
+    ShardedExecutor,
+    glb_partition,
+    partition_layers,
+    plan_for,
+)
 from repro.serving.slo import SloSummary, percentile, summarize
 from repro.serving.workers import BatchExecutor, BatchResult, ServiceModel, WorkerPool
 
@@ -69,6 +101,7 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "AdmissionConfig",
     "AdmissionController",
+    "AutoscalerPolicy",
     "BatchExecutor",
     "BatchPolicy",
     "BatchResult",
@@ -76,16 +109,23 @@ __all__ = [
     "COMPLETED",
     "ChaosResult",
     "ChaosSummary",
+    "ClosedLoopConfig",
+    "DEFAULT_SLO_CLASSES",
     "DynamicBatcher",
     "FAILED",
     "FAIL_ATTEMPTS_EXHAUSTED",
     "FAIL_DEADLINE",
     "FaultTolerancePolicy",
     "FaultTolerantSimulator",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "GlbPartition",
     "HealthPolicy",
     "HedgePolicy",
     "OverloadPolicy",
     "POLICY_LADDER",
+    "PriorityBatcher",
     "REJECTED",
     "REJECT_QUEUE_FULL",
     "REJECT_RATE_LIMITED",
@@ -93,18 +133,28 @@ __all__ = [
     "RequestRecord",
     "RetryPolicy",
     "SERVING_LADDER",
+    "SPLIT_KINDS",
     "ServerConfig",
     "ServiceModel",
     "ServingResult",
     "ServingSimulator",
+    "ShardPlan",
+    "ShardedBatchResult",
+    "ShardedExecutor",
+    "SloClass",
     "SloSummary",
     "TokenBucket",
     "TraceConfig",
     "WorkerPool",
     "generate_trace",
+    "glb_partition",
+    "initial_fleet_size",
+    "partition_layers",
     "percentile",
+    "plan_for",
     "policy_named",
     "simulate_chaos",
+    "simulate_fleet",
     "simulate_serving",
     "summarize",
 ]

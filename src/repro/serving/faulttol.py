@@ -414,6 +414,7 @@ class _Tracker:
         "done",
         "retry_pending",
         "hedged",
+        "handed_back",
     )
 
     def __init__(self, request: Request):
@@ -424,6 +425,7 @@ class _Tracker:
         self.done = False
         self.retry_pending = False
         self.hedged = False
+        self.handed_back = 0  # evicted dispatches returned to the queue
 
 
 @dataclass(frozen=True)
@@ -980,6 +982,7 @@ class FaultTolerantSimulator:
                 # was the server's fault, not the client's budget
                 if not attempt.is_hedge:
                     tracker.tries = max(tracker.tries - 1, 0)
+                tracker.handed_back += 1
                 self._counts["handed_back"] += 1
                 self._batcher.push_front(request)
                 self._max_depth = max(self._max_depth, self._batcher.depth)
@@ -1016,6 +1019,7 @@ class FaultTolerantSimulator:
             completion_cycle=now,
             attempts=tracker.attempts,
             hedged=attempt.is_hedge,
+            handed_back=tracker.handed_back,
         )
 
     def _fail(self, now: int, tracker: _Tracker, reason: str) -> None:
@@ -1027,6 +1031,7 @@ class FaultTolerantSimulator:
             reject_reason=reason,
             completion_cycle=now,  # when the client stopped waiting
             attempts=tracker.attempts,
+            handed_back=tracker.handed_back,
         )
 
     def _close(self, trace: list[Request]) -> ChaosResult:

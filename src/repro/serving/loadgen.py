@@ -32,7 +32,12 @@ import numpy as np
 
 from repro.serving.request import Request
 
-__all__ = ["ARRIVAL_PROCESSES", "TraceConfig", "generate_trace"]
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ClosedLoopConfig",
+    "TraceConfig",
+    "generate_trace",
+]
 
 #: The supported arrival processes.
 ARRIVAL_PROCESSES = ("poisson", "bursty")
@@ -110,6 +115,89 @@ class TraceConfig:
                 f"TraceConfig.switch_probability must be in [0, 1], got "
                 f"{self.switch_probability}"
             )
+
+
+@dataclass(frozen=True)
+class ClosedLoopConfig:
+    """A closed-loop client population with an exponential think-time
+    model.
+
+    Open-loop traces (:class:`TraceConfig`) model independent anonymous
+    traffic; a *closed* loop models a finite population of sessions:
+    each client issues one request, waits for its terminal outcome, then
+    "thinks" for an exponentially-distributed pause before issuing the
+    next -- so offered load self-regulates with server latency (the
+    interactive-session regime of the fleet tier,
+    :mod:`repro.serving.fleet`).
+
+    Every client's request/think stream descends from its own
+    ``SeedSequence`` child of ``seed``, so the population replays
+    byte-identically regardless of completion interleaving.
+
+    Attributes:
+        clients: concurrent sessions.
+        requests_per_client: requests each session issues before leaving.
+        think_time_us: mean think pause in simulated microseconds.
+        models: traffic-mix models (uniform mix).
+        workload_variants: per-request workload seeds are drawn from
+            ``[0, workload_variants)``.
+        seed: population seed.
+        clock_hz: simulated clock for second -> cycle conversion.
+    """
+
+    clients: int = 8
+    requests_per_client: int = 25
+    think_time_us: float = 2000.0
+    models: tuple[str, ...] = ("alexnet", "lstm")
+    workload_variants: int = 4
+    seed: int = 0
+    clock_hz: float = 1e9
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ValueError(
+                f"ClosedLoopConfig.clients must be >= 1, got {self.clients}"
+            )
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"ClosedLoopConfig.requests_per_client must be >= 1, got "
+                f"{self.requests_per_client}"
+            )
+        if self.think_time_us < 0:
+            raise ValueError(
+                f"ClosedLoopConfig.think_time_us must be >= 0, got "
+                f"{self.think_time_us}"
+            )
+        if not self.models:
+            raise ValueError(
+                "ClosedLoopConfig.models must name at least one model"
+            )
+        if self.workload_variants < 1:
+            raise ValueError(
+                f"ClosedLoopConfig.workload_variants must be >= 1, got "
+                f"{self.workload_variants}"
+            )
+
+    def client_rng(self, client: int) -> np.random.Generator:
+        """The seeded generator driving client ``client``'s stream."""
+        if not 0 <= client < self.clients:
+            raise ValueError(
+                f"client must be in [0, {self.clients}), got {client}"
+            )
+        children = np.random.SeedSequence(self.seed).spawn(self.clients)
+        return np.random.default_rng(children[client])
+
+    def think_cycles(self, rng: np.random.Generator) -> int:
+        """One exponential think pause, in simulated cycles."""
+        if self.think_time_us <= 0:
+            return 0
+        seconds = float(rng.exponential(self.think_time_us * 1e-6))
+        return int(round(seconds * self.clock_hz))
+
+    def draw_request(self, rng: np.random.Generator) -> tuple[str, int]:
+        """One ``(model, workload_seed)`` draw from the client's mix."""
+        model = self.models[int(rng.integers(len(self.models)))]
+        return model, int(rng.integers(self.workload_variants))
 
 
 def generate_trace(config: TraceConfig) -> list[Request]:

@@ -96,6 +96,10 @@ class RequestRecord:
             (0 under the plain simulator, which needs exactly one and
             does not track them).
         hedged: True when the winning attempt was a hedge re-dispatch.
+        handed_back: dispatches a worker eviction handed back to the
+            queue.  Each hand-back refunds the retry budget (the loss
+            was the server's fault) but still counts in ``attempts``,
+            so ``attempts`` may exceed the budget by exactly this many.
     """
 
     request: Request
@@ -107,6 +111,7 @@ class RequestRecord:
     completion_cycle: int | None = None
     attempts: int = 0
     hedged: bool = False
+    handed_back: int = 0
 
     @property
     def completed(self) -> bool:

@@ -13,6 +13,11 @@ that exhausts its retries is recorded as unrecoverable -- the caller's
 guards must treat the affected data as untrusted (fail-safe dense
 execution) so that a flaky channel can cost cycles and accuracy but never
 deliver silently-corrupted values.
+
+The sharding tier (:mod:`repro.serving.sharding`) additionally prices
+*multi-chip* DRAM access: tensor-split shards sit behind one physical
+memory channel, so each chip's slice of the traffic streams at a
+``1/chips`` share of the bandwidth (:func:`shared_channel_cycles`).
 """
 
 from __future__ import annotations
@@ -23,7 +28,31 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["Dram", "TransferRetryPolicy"]
+__all__ = ["Dram", "TransferRetryPolicy", "shared_channel_cycles"]
+
+
+def shared_channel_cycles(num_bytes: int, bandwidth: int, chips: int = 1) -> int:
+    """Cycles for one chip to move ``num_bytes`` over a shared channel.
+
+    ``chips`` shards behind one physical DRAM channel each see a fair
+    ``1/chips`` slice of the interface bandwidth, so a chip's transfer
+    takes ``chips`` times the solo latency.  With ``chips=1`` this is
+    exactly the plain bandwidth model.
+
+    Args:
+        num_bytes: this chip's slice of the traffic (0 is free).
+        bandwidth: channel bandwidth in bytes per cycle.
+        chips: chips concurrently sharing the channel (>= 1).
+    """
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if chips < 1:
+        raise ValueError(f"chips must be >= 1, got {chips}")
+    if num_bytes == 0:
+        return 0
+    return math.ceil(num_bytes * chips / bandwidth)
 
 #: fault-model signature: ``(direction, num_bytes, attempt) -> bool``
 #: returning True marks the attempt as failed (corrupted burst).

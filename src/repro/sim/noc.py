@@ -9,13 +9,49 @@ The model delivers words to target sets, counting bus transactions (one
 per X-bus touched per word, plus the Y-bus hop) and tallying how many
 PE-side receivers were activated vs. deactivated -- the quantity the
 energy model charges.
+
+The module also prices the *inter-chip* link the sharding tier
+(:mod:`repro.serving.sharding`) uses to move boundary activations
+between pipeline stages and to all-reduce partial sums between tensor
+shards: a shared serial link at a configured byte-per-cycle bandwidth,
+with contention modelled as fair time-slicing among the chips driving
+it concurrently (:func:`interchip_transfer_cycles`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["MulticastNoc", "DeliveryStats"]
+__all__ = ["MulticastNoc", "DeliveryStats", "interchip_transfer_cycles"]
+
+
+def interchip_transfer_cycles(
+    num_bytes: int, link_bandwidth: int, sharers: int = 1
+) -> int:
+    """Cycles to move ``num_bytes`` over the shared inter-chip link.
+
+    The link is a serialisation point just like the Y-bus: one transfer
+    streams at ``link_bandwidth`` bytes per cycle, and when ``sharers``
+    chips drive the link concurrently each sees a fair ``1/sharers``
+    time slice, so the same payload takes ``sharers`` times as long.
+
+    Args:
+        num_bytes: payload size (0 is free).
+        link_bandwidth: link bandwidth in bytes per cycle.
+        sharers: chips concurrently contending for the link (>= 1).
+    """
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+    if link_bandwidth <= 0:
+        raise ValueError(
+            f"link_bandwidth must be positive, got {link_bandwidth}"
+        )
+    if sharers < 1:
+        raise ValueError(f"sharers must be >= 1, got {sharers}")
+    if num_bytes == 0:
+        return 0
+    return math.ceil(num_bytes * sharers / link_bandwidth)
 
 
 @dataclass

@@ -65,6 +65,7 @@ class TestCommittedDocuments:
             ("BENCH_serving.json", "duet-serve/1"),
             ("BENCH_faults.json", "duet-faults/1"),
             ("BENCH_chaos.json", "duet-chaos/1"),
+            ("BENCH_fleet.json", "duet-fleet/1"),
             (".duetlint-baseline.json", "duetlint-baseline/1"),
         ],
     )

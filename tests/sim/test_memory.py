@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.sim.dram import Dram, TransferRetryPolicy
+from repro.sim.dram import Dram, TransferRetryPolicy, shared_channel_cycles
 from repro.sim.glb import GlobalBuffer
-from repro.sim.noc import MulticastNoc
+from repro.sim.noc import MulticastNoc, interchip_transfer_cycles
 
 
 class TestGlobalBuffer:
@@ -162,3 +162,58 @@ class TestMulticastNoc:
         noc.deliver(1, target_rows={0, 1, 2}, target_cols={0})
         total = noc.stats.receivers_activated + noc.stats.receivers_deactivated
         assert total == 3 * 8  # matched rows x all cols
+
+
+class TestSharedChannelCycles:
+    def test_solo_matches_plain_bandwidth_model(self):
+        assert shared_channel_cycles(1024, bandwidth=32) == Dram(32).cycles_for(1024)
+
+    def test_contention_scales_with_chips(self):
+        solo = shared_channel_cycles(1024, bandwidth=32)
+        assert shared_channel_cycles(1024, bandwidth=32, chips=4) == 4 * solo
+
+    def test_monotone_in_chips(self):
+        cycles = [
+            shared_channel_cycles(1000, bandwidth=32, chips=k)
+            for k in range(1, 6)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_zero_bytes_free(self):
+        assert shared_channel_cycles(0, bandwidth=32, chips=8) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_bytes=-1, bandwidth=32),
+            dict(num_bytes=1, bandwidth=0),
+            dict(num_bytes=1, bandwidth=32, chips=0),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            shared_channel_cycles(**kwargs)
+
+
+class TestInterchipTransferCycles:
+    def test_ceil_at_link_bandwidth(self):
+        assert interchip_transfer_cycles(33, link_bandwidth=32) == 2
+
+    def test_fair_time_slicing_among_sharers(self):
+        solo = interchip_transfer_cycles(4096, link_bandwidth=32)
+        assert interchip_transfer_cycles(4096, 32, sharers=3) == 3 * solo
+
+    def test_zero_bytes_free(self):
+        assert interchip_transfer_cycles(0, link_bandwidth=32, sharers=4) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_bytes=-1, link_bandwidth=32),
+            dict(num_bytes=1, link_bandwidth=0),
+            dict(num_bytes=1, link_bandwidth=32, sharers=0),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            interchip_transfer_cycles(**kwargs)

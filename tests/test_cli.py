@@ -211,3 +211,37 @@ class TestChaos:
         assert code == 2
         assert out == ""
         assert err.startswith("error:")
+
+
+class TestFleet:
+    def test_smoke_campaign(self, tmp_path):
+        output = tmp_path / "BENCH_fleet.json"
+        code, text = run_cli(
+            "fleet", "--smoke", "--no-perf", "--output", str(output),
+        )
+        assert code == 0
+        for scenario in (
+            "single_chip",
+            "sharded_fleet",
+            "overload_autoscale",
+            "closed_loop",
+        ):
+            assert scenario in text
+        assert "capacity feed:" in text
+        assert "goodput dominance:" in text
+        assert "holds" in text
+        assert "autoscale out observed: True" in text
+        assert "closed loop conserved: True" in text
+        assert output.exists()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("fleet", "--jobs", "0"),
+        ],
+    )
+    def test_bad_values_exit_2(self, argv):
+        code, out, err = run_cli_err(*argv)
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error:")

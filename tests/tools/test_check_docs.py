@@ -1,0 +1,157 @@
+"""Tests for the docs-coverage checker (`tools/check_docs.py`).
+
+Fixture trees exercise each coverage contract in isolation; the
+subprocess tests pin the 0/1/2 exit convention; and the live-tree tests
+are the actual gate — the committed docs must cover every registered
+subcommand and every committed bench schema.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def _run_tool(*args):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py"), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def _make_tree(tmp_path, api_md, benchmarks_md, bench_files=()):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "api.md").write_text(api_md)
+    (docs / "benchmarks.md").write_text(benchmarks_md)
+    for name, document in bench_files:
+        (tmp_path / name).write_text(json.dumps(document))
+    return tmp_path
+
+
+def _api_md_covering_all_commands():
+    rows = "\n".join(
+        f"python -m repro {name}" for name in check_docs.registered_commands()
+    )
+    return f"```bash\n{rows}\n```\n"
+
+
+class TestCliCoverage:
+    def test_registered_commands_come_from_the_parser(self):
+        commands = check_docs.registered_commands()
+        assert "simulate" in commands
+        assert "fleet" in commands
+        assert "lint" in commands
+        assert commands == sorted(commands)
+
+    def test_missing_command_row_is_a_gap(self):
+        gaps = check_docs.cli_gaps(["simulate", "fleet"], "python -m repro simulate\n")
+        assert len(gaps) == 1
+        assert "fleet" in gaps[0]
+
+    def test_stale_row_is_a_gap(self):
+        gaps = check_docs.cli_gaps(
+            ["simulate"], "python -m repro simulate\npython -m repro gone\n"
+        )
+        assert len(gaps) == 1
+        assert "stale" in gaps[0]
+        assert "gone" in gaps[0]
+
+    def test_full_coverage_is_clean(self):
+        commands = check_docs.registered_commands()
+        assert check_docs.cli_gaps(commands, _api_md_covering_all_commands()) == []
+
+
+class TestBenchCoverage:
+    def test_undocumented_file_and_schema_are_gaps(self, tmp_path):
+        root = _make_tree(
+            tmp_path,
+            api_md="",
+            benchmarks_md="nothing here\n",
+            bench_files=[("BENCH_x.json", {"schema": "duet-x/1"})],
+        )
+        gaps = check_docs.bench_gaps(root, (root / "docs" / "benchmarks.md").read_text())
+        assert len(gaps) == 2
+        assert any("BENCH_x.json" in gap for gap in gaps)
+        assert any("duet-x/1" in gap for gap in gaps)
+
+    def test_documented_file_is_clean(self, tmp_path):
+        root = _make_tree(
+            tmp_path,
+            api_md="",
+            benchmarks_md="`BENCH_x.json` (schema `duet-x/1`)\n",
+            bench_files=[("BENCH_x.json", {"schema": "duet-x/1"})],
+        )
+        gaps = check_docs.bench_gaps(root, (root / "docs" / "benchmarks.md").read_text())
+        assert gaps == []
+
+    def test_schema_less_bench_file_raises(self, tmp_path):
+        root = _make_tree(
+            tmp_path,
+            api_md="",
+            benchmarks_md="",
+            bench_files=[("BENCH_x.json", {"results": []})],
+        )
+        with pytest.raises(ValueError, match="no schema"):
+            check_docs.bench_gaps(root, "")
+
+
+class TestExitConvention:
+    def test_live_tree_exits_zero(self):
+        proc = _run_tool()
+        assert proc.returncode == 0, proc.stderr
+        assert "docs cover" in proc.stdout
+
+    def test_coverage_gap_exits_one(self, tmp_path):
+        _make_tree(tmp_path, api_md="no rows here\n", benchmarks_md="")
+        proc = _run_tool("--root", str(tmp_path))
+        assert proc.returncode == 1
+        assert "coverage gap" in proc.stderr
+
+    def test_missing_docs_page_exits_two(self, tmp_path):
+        proc = _run_tool("--root", str(tmp_path))
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+
+    def test_unreadable_bench_file_exits_two(self, tmp_path):
+        _make_tree(
+            tmp_path, api_md=_api_md_covering_all_commands(), benchmarks_md=""
+        )
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        proc = _run_tool("--root", str(tmp_path))
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+
+
+class TestEverySubcommandHelp:
+    @pytest.mark.parametrize("name", check_docs.registered_commands())
+    def test_help_runs_clean_and_is_documented(self, name, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args([name, "--help"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("usage:")
+        # the committed api.md must carry a row for this subcommand
+        api_md = (REPO_ROOT / "docs" / "api.md").read_text()
+        assert name in check_docs.documented_commands(api_md)

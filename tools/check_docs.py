@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Fail on docs drifting out of sync with the CLI and the bench files.
+
+Two coverage contracts, both checked against the live tree:
+
+1. **CLI coverage** -- every subcommand registered on the ``repro``
+   argument parser must be shown in ``docs/api.md`` as a
+   ``python -m repro <command>`` invocation, and ``docs/api.md`` must
+   not advertise subcommands that no longer exist (stale rows).
+2. **Bench-schema coverage** -- every committed ``BENCH_*.json`` at the
+   repo root must have both its filename and its ``schema`` string
+   (for example ``duet-fleet/1``) described in ``docs/benchmarks.md``.
+
+Usage: ``python tools/check_docs.py [--root DIR]`` (defaults to the
+repo root containing this script).  Follows the repo-wide exit
+convention (enforced by duetlint's CLI001): 0 when the docs cover
+everything, 1 listing every coverage gap, 2 on internal errors (a
+missing docs page, an unreadable or schema-less bench file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+_CLI_ROW = re.compile(r"python -m repro\s+([a-z][a-z0-9-]*)")
+
+
+def registered_commands() -> list[str]:
+    """Subcommand names registered on the live ``repro`` parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise RuntimeError("repro parser registers no subcommands")
+
+
+def documented_commands(api_md: str) -> set[str]:
+    """Subcommands ``docs/api.md`` shows as ``python -m repro <cmd>``."""
+    return set(_CLI_ROW.findall(api_md))
+
+
+def cli_gaps(commands: list[str], api_md: str) -> list[str]:
+    """Coverage gaps between the parser and ``docs/api.md``."""
+    documented = documented_commands(api_md)
+    gaps = [
+        f"docs/api.md: no `python -m repro {name}` row for registered "
+        f"subcommand {name!r}"
+        for name in commands
+        if name not in documented
+    ]
+    gaps.extend(
+        f"docs/api.md: stale row `python -m repro {name}` -- no such "
+        f"subcommand"
+        for name in sorted(documented - set(commands))
+    )
+    return gaps
+
+
+def bench_gaps(root: Path, benchmarks_md: str) -> list[str]:
+    """Bench files at ``root`` not described in ``docs/benchmarks.md``."""
+    gaps = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        schema = json.loads(path.read_text()).get("schema")
+        if not isinstance(schema, str):
+            raise ValueError(f"{path.name} carries no schema string")
+        if path.name not in benchmarks_md:
+            gaps.append(f"docs/benchmarks.md: never mentions {path.name}")
+        if schema not in benchmarks_md:
+            gaps.append(
+                f"docs/benchmarks.md: schema `{schema}` of {path.name} "
+                f"is not described"
+            )
+    return gaps
+
+
+def check_tree(root: Path) -> list[str]:
+    """All coverage gaps in the tree rooted at ``root``."""
+    api = root / "docs" / "api.md"
+    benchmarks = root / "docs" / "benchmarks.md"
+    for page in (api, benchmarks):
+        if not page.is_file():
+            raise OSError(f"no such docs page {page}")
+    gaps = cli_gaps(registered_commands(), api.read_text())
+    gaps.extend(bench_gaps(root, benchmarks.read_text()))
+    return gaps
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=default_root,
+        help="repo root to check (default: the tree containing this script)",
+    )
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(default_root / "src"))
+    try:
+        gaps = check_tree(args.root)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for gap in gaps:
+        print(gap, file=sys.stderr)
+    if gaps:
+        print(f"{len(gaps)} docs coverage gap(s)", file=sys.stderr)
+        return 1
+    print("docs cover every subcommand and bench schema")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
