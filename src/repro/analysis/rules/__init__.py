@@ -131,6 +131,7 @@ from repro.analysis.rules import (  # noqa: E402,F401
     configdoc,
     conventions,
     determinism,
+    dynamic,
     numerics,
     parallelism,
     parity,

@@ -1,0 +1,112 @@
+"""DYN001: every registered exit head is priced and parity-tested.
+
+The selective-execution subsystem (PR 9) keeps three artifacts in
+lock-step: the early-exit registry ``EXIT_REGISTRY`` in
+``src/repro/dynamic/exits.py``, the per-backbone quality pricing
+``EXIT_PRICING`` in ``src/repro/dynamic/costmodel.py``, and the
+degeneration suite ``tests/dynamic/test_parity.py`` that pins the
+full-depth exit bit-identical to the static model.  A backbone
+registered in one but missing from the others silently serves unpriced
+(or untested) exits -- exactly the rot PAR001 guards against on the
+fast/slow axis.  This rule is the registry's counterpart: every string
+key of the ``EXIT_REGISTRY`` dict literal must be word-mentioned in the
+cost model and in the parity suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import ParsedModule, Project
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: the module owning the early-exit registry.
+_REGISTRY_FILE = "src/repro/dynamic/exits.py"
+
+#: the registry's module-level name.
+_REGISTRY_NAME = "EXIT_REGISTRY"
+
+#: where every registered backbone must carry a quality price.
+_PRICING_FILE = "src/repro/dynamic/costmodel.py"
+
+#: the degeneration suite every registered backbone must appear in.
+_TEST_FILE = "tests/dynamic/test_parity.py"
+
+
+def _word_in(text: str, word: str) -> bool:
+    return re.search(rf"\b{re.escape(word)}\b", text) is not None
+
+
+def _registry_keys(tree: ast.Module) -> list[tuple[ast.expr, str]]:
+    """(key node, key string) of the EXIT_REGISTRY dict literal."""
+    for node in tree.body:
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        else:
+            continue
+        named = any(
+            isinstance(t, ast.Name) and t.id == _REGISTRY_NAME
+            for t in targets
+        )
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        return [
+            (key, key.value)
+            for key in value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ]
+    return []
+
+
+@register
+class ExitPricingParityRule(Rule):
+    """DYN001: registered exit heads need pricing and parity coverage."""
+
+    code = "DYN001"
+    title = "registered early-exit backbones are priced and parity-tested"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath == _REGISTRY_FILE
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        keys = _registry_keys(module.tree)
+        pricing_text = project.read_text(_PRICING_FILE)
+        test_text = project.read_text(_TEST_FILE)
+        for node, backbone in keys:
+            if pricing_text is None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"early-exit backbone '{backbone}' cannot be priced: "
+                    f"{_PRICING_FILE} does not exist",
+                )
+            elif not _word_in(pricing_text, backbone):
+                yield self.finding(
+                    module,
+                    node,
+                    f"early-exit backbone '{backbone}' has no priced entry "
+                    f"in {_PRICING_FILE}: add it to EXIT_PRICING so its "
+                    "exits carry a quality cost",
+                )
+            if test_text is None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"early-exit backbone '{backbone}' cannot be "
+                    f"parity-checked: {_TEST_FILE} does not exist",
+                )
+            elif not _word_in(test_text, backbone):
+                yield self.finding(
+                    module,
+                    node,
+                    f"early-exit backbone '{backbone}' is not referenced by "
+                    f"{_TEST_FILE}: add a degeneration test pinning its "
+                    "full-depth exit bit-identical to the static model",
+                )

@@ -20,6 +20,11 @@ simulated results for any worker count:
   campaign -- sharded servers, SLO-class scheduling, autoscaling, and
   closed-loop clients, with goodput-dominance and autoscale verdicts
   (:mod:`repro.bench.fleet`).
+- ``BENCH_dynamic.json`` (``python -m repro dynamic``): the
+  selective-execution campaign -- the accuracy-vs-cycles Pareto sweep
+  over exit thresholds, the static-parity degeneration check, and the
+  quality-vs-ladder overload serving comparison
+  (:mod:`repro.bench.dynamic`).
 
 Modules:
 
@@ -39,6 +44,12 @@ for the paper-figure mapping of every bench file.
 
 from repro.bench.chaos import CHAOS_SCHEMA, chaos_cells, run_chaos_bench
 from repro.bench.document import deterministic_view
+from repro.bench.dynamic import (
+    DYNAMIC_SCHEMA,
+    dynamic_scenarios,
+    exit_thresholds,
+    run_dynamic_bench,
+)
 from repro.bench.faults import FAULTS_SCHEMA, fault_matrix, run_fault_matrix
 from repro.bench.fleet import (
     FLEET_SCHEMA,
@@ -59,6 +70,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchSuite",
     "CHAOS_SCHEMA",
+    "DYNAMIC_SCHEMA",
     "FAULTS_SCHEMA",
     "FLEET_SCHEMA",
     "SERVE_SCHEMA",
@@ -67,10 +79,13 @@ __all__ = [
     "chaos_cells",
     "deterministic_view",
     "discover_bench_files",
+    "dynamic_scenarios",
+    "exit_thresholds",
     "fault_matrix",
     "fleet_scenarios",
     "run_bench",
     "run_chaos_bench",
+    "run_dynamic_bench",
     "run_fault_matrix",
     "run_fleet_bench",
     "run_serving_bench",

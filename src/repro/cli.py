@@ -21,6 +21,9 @@ Commands:
 - ``fleet``                 run the fleet-scale sharded-serving campaign
   (sharding, SLO classes, autoscaling, closed loop) and write
   ``BENCH_fleet.json``.
+- ``dynamic``               run the selective-execution campaign
+  (early-exit Pareto sweep, static parity, quality-vs-ladder overload
+  serving) and write ``BENCH_dynamic.json``.
 - ``lint``                  run duetlint, the project-specific static
   analysis (exit 0 clean, 1 findings, 2 usage error).
 
@@ -40,6 +43,7 @@ from repro.bench import (
     SUITES,
     run_bench,
     run_chaos_bench,
+    run_dynamic_bench,
     run_fault_matrix,
     run_fleet_bench,
     run_serving_bench,
@@ -334,6 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_fleet.add_argument(
+        "--no-perf", action="store_true",
+        help=(
+            "omit the wall-clock perf block and history so documents "
+            "compare byte-identical across worker counts"
+        ),
+    )
+
+    p_dynamic = sub.add_parser(
+        "dynamic",
+        help=(
+            "run the selective-execution campaign (early-exit Pareto "
+            "sweep, static parity, quality-vs-ladder overload serving), "
+            "write BENCH_dynamic.json"
+        ),
+    )
+    p_dynamic.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized grid (12 inputs, 150-request traces) instead of full",
+    )
+    p_dynamic.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    p_dynamic.add_argument(
+        "--slow-path", action="store_true",
+        help="simulate on the per-event slow-path oracle instead",
+    )
+    p_dynamic.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (simulated results identical for any N)",
+    )
+    p_dynamic.add_argument(
+        "--output", default="BENCH_dynamic.json",
+        help="result path (default BENCH_dynamic.json at the repo root)",
+    )
+    p_dynamic.add_argument(
         "--no-perf", action="store_true",
         help=(
             "omit the wall-clock perf block and history so documents "
@@ -774,6 +811,78 @@ def _cmd_fleet(args, out) -> int:
     return 0 if all(verdicts.values()) else 1
 
 
+def _cmd_dynamic(args, out) -> int:
+    if args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
+    out.write(
+        f"{'task':>20s} {'detail':>24s} {'best/good':>10s} {'drop':>7s} "
+        f"{'verdict':>8s}\n"
+    )
+
+    def _progress(record):
+        if record["kind"] == "pareto":
+            best = record["best"]
+            out.write(
+                f"{record['model']:>20s} "
+                f"{'tau=' + format(best['threshold'], 'g'):>24s} "
+                f"{best['cycle_reduction_vs_full']:9.2f}x "
+                f"{format_percent(best['mean_estimated_drop']):>7s} "
+                f"{'PASS' if record['pareto_win'] else 'miss':>8s}\n"
+            )
+        elif record["kind"] == "parity":
+            models = ", ".join(m["model"] for m in record["models"])
+            out.write(
+                f"{'static parity':>20s} {models:>24s} {'':>10s} {'':>7s} "
+                f"{'PASS' if record['static_parity'] else 'FAIL':>8s}\n"
+            )
+        else:
+            summary = record["summary"]
+            done = f"{summary['completed']}/{summary['offered']} done"
+            out.write(
+                f"{record['name']:>20s} {done:>24s} "
+                f"{record['goodput_rps']:9.1f}r "
+                f"{format_percent(record['mean_quality_drop']):>7s} "
+                f"{'':>8s}\n"
+            )
+
+    document = run_dynamic_bench(
+        smoke=args.smoke,
+        root_seed=args.seed,
+        fast_path=not args.slow_path,
+        jobs=args.jobs,
+        output=args.output,
+        with_perf=not args.no_perf,
+        progress=_progress,
+    )
+    best = document["best_tradeoff"]
+    out.write(
+        f"best tradeoff: {best['model']} at threshold "
+        f"{best['threshold']:g} -> {best['cycle_reduction_vs_full']:.2f}x "
+        f"cycles at {format_percent(best['mean_estimated_drop'])} estimated "
+        f"accuracy drop\n"
+    )
+    verdicts = document["verdicts"]
+    dominance = document["dominance"]
+    gain = dominance["gain"]
+    gain_text = f"{gain:.2f}x" if gain is not None else "n/a"
+    out.write(
+        f"overload goodput: quality-aware "
+        f"{dominance['quality_goodput_rps']:.1f} req/s vs ladder-only "
+        f"{dominance['ladder_goodput_rps']:.1f} req/s ({gain_text}, "
+        f"{'holds' if verdicts['goodput_dominance'] else 'FAILS'}) at "
+        f"{format_percent(dominance['quality_mean_drop'])} mean estimated "
+        f"drop\n"
+    )
+    out.write(
+        f"pareto win: {verdicts['pareto_win']}  "
+        f"static parity: {verdicts['static_parity']}  "
+        f"threshold monotone: {verdicts['threshold_monotone']}  "
+        f"quality bounded: {verdicts['quality_bounded']}; "
+        f"results in {args.output}\n"
+    )
+    return 0 if all(verdicts.values()) else 1
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "simulate": _cmd_simulate,
@@ -786,6 +895,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
+    "dynamic": _cmd_dynamic,
     "lint": cmd_lint,
 }
 

@@ -1,0 +1,68 @@
+"""Input-adaptive selective execution: early exits, pricing, decisions.
+
+DUET's dual modules switch per *activation*; this package adds the
+per-*input* axis (D²NN, arXiv:1701.00299): early-exit model variants
+over the zoo (:mod:`repro.dynamic.exits`), seeded per-input exit
+decisions (:mod:`repro.dynamic.decision`), exit-aware cycle/energy and
+quality pricing (:mod:`repro.dynamic.costmodel`), and a batch executor
+that routes each sample to its exit (:mod:`repro.dynamic.executor`).
+The serving tier consumes it through
+:class:`~repro.serving.quality.QualityPolicy` -- under queue pressure,
+requests shed depth (quality) before the ladder sheds precision.
+"""
+
+from repro.dynamic.costmodel import (
+    EXIT_PRICING,
+    ExitCostModel,
+    ExitPricing,
+    estimated_accuracy_drop,
+)
+from repro.dynamic.decision import (
+    ALWAYS_LATE,
+    ExitDecision,
+    confidence,
+    decide_exit,
+    input_difficulty,
+)
+from repro.dynamic.executor import (
+    DynamicBatchExecutor,
+    DynamicBatchResult,
+    DynamicShardedBatchResult,
+    DynamicShardedExecutor,
+    decision_drop,
+)
+from repro.dynamic.exits import (
+    EXIT_REGISTRY,
+    FINAL_EXIT,
+    EarlyExitModel,
+    ExitPoint,
+    early_exit_model,
+    early_exit_variants,
+    reduced_width_spec,
+    truncated_spec,
+)
+
+__all__ = [
+    "ALWAYS_LATE",
+    "EXIT_PRICING",
+    "EXIT_REGISTRY",
+    "FINAL_EXIT",
+    "DynamicBatchExecutor",
+    "DynamicBatchResult",
+    "DynamicShardedBatchResult",
+    "DynamicShardedExecutor",
+    "EarlyExitModel",
+    "ExitCostModel",
+    "ExitDecision",
+    "ExitPoint",
+    "ExitPricing",
+    "confidence",
+    "decide_exit",
+    "decision_drop",
+    "early_exit_model",
+    "early_exit_variants",
+    "estimated_accuracy_drop",
+    "input_difficulty",
+    "reduced_width_spec",
+    "truncated_spec",
+]

@@ -1,0 +1,220 @@
+"""Batch execution with per-input early exits.
+
+:class:`DynamicBatchExecutor` extends the serving tier's
+:class:`~repro.serving.workers.BatchExecutor` with the per-input axis:
+each sample in a batch gets a seeded exit decision
+(:func:`~repro.dynamic.decision.decide_exit`) and is simulated on the
+truncated spec its exit implies.  Models without a registered early-exit
+variant -- and every sample at ``threshold == ALWAYS_LATE`` -- run the
+unmodified backbone spec, sharing the base executor's memoization keys,
+so the static configuration is bit-identical to a plain
+``BatchExecutor`` (reports, service cycles, and cache contents).
+
+:class:`DynamicShardedExecutor` does the same over the fleet tier's
+:class:`~repro.serving.sharding.ShardedExecutor`, with one documented
+restriction: models carrying a shard plan always serve full depth (a
+pipeline/tensor split partitions the *whole* backbone across chips;
+re-planning per input would change the placement mid-batch).  Early
+exits apply to the single-chip models of the placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dynamic.costmodel import estimated_accuracy_drop
+from repro.dynamic.decision import ALWAYS_LATE, ExitDecision, decide_exit
+from repro.dynamic.exits import (
+    EXIT_REGISTRY,
+    EarlyExitModel,
+    early_exit_model,
+    truncated_spec,
+)
+from repro.models.layer_spec import ModelSpec
+from repro.serving.sharding import ShardedBatchResult, ShardedExecutor
+from repro.serving.workers import BatchExecutor, BatchResult
+
+__all__ = [
+    "DynamicBatchExecutor",
+    "DynamicBatchResult",
+    "DynamicShardedBatchResult",
+    "DynamicShardedExecutor",
+    "decision_drop",
+]
+
+
+@dataclass
+class DynamicBatchResult(BatchResult):
+    """A batch result annotated with per-sample exit decisions.
+
+    ``decisions[i]`` pairs with ``reports[i]``; an entry is None when the
+    model has no registered early-exit variant (static service).
+    """
+
+    decisions: list | None = None
+
+
+@dataclass
+class DynamicShardedBatchResult(ShardedBatchResult):
+    """A sharded batch result annotated with per-sample exit decisions."""
+
+    decisions: list | None = None
+
+
+def decision_drop(model_name: str, decision: ExitDecision | None) -> float:
+    """Estimated accuracy drop one sample's decision cost it."""
+    if decision is None:
+        return 0.0
+    return estimated_accuracy_drop(model_name, decision.depth_fraction)
+
+
+class _ExitAware:
+    """Shared exit-decision machinery of the dynamic executors.
+
+    Mixed into :class:`~repro.serving.workers.BatchExecutor` subclasses;
+    relies on their ``_resolve`` and adds the variant cache + the seeded
+    per-sample decision.
+    """
+
+    exit_seed: int
+
+    def _init_exits(self, exit_seed: int) -> None:
+        self.exit_seed = exit_seed
+        self._exit_models: dict[str, EarlyExitModel | None] = {}
+
+    def exit_model_for(self, model: str | ModelSpec) -> EarlyExitModel | None:
+        """The registered early-exit variant, or None for static models."""
+        spec = self._resolve(model)
+        if spec.name not in self._exit_models:
+            self._exit_models[spec.name] = (
+                early_exit_model(spec) if spec.name in EXIT_REGISTRY else None
+            )
+        return self._exit_models[spec.name]
+
+    def decide(
+        self, model: str | ModelSpec, workload_seed: int, threshold: float
+    ) -> ExitDecision | None:
+        """One sample's exit decision (None when the model is static)."""
+        variant = self.exit_model_for(model)
+        if variant is None:
+            return None
+        return decide_exit(
+            variant, workload_seed, threshold, seed=self.exit_seed
+        )
+
+    def _decide_batch(
+        self, variant: EarlyExitModel, workload_seeds: list[int], threshold: float
+    ) -> tuple[list, list]:
+        """Per-sample decisions and the truncated specs they imply."""
+        decisions = [
+            decide_exit(variant, seed, threshold, seed=self.exit_seed)
+            for seed in workload_seeds
+        ]
+        specs = [
+            truncated_spec(variant, decision.exit_name)
+            for decision in decisions
+        ]
+        return decisions, specs
+
+
+class DynamicBatchExecutor(_ExitAware, BatchExecutor):
+    """A :class:`BatchExecutor` that can serve inputs at early exits.
+
+    Args:
+        exit_seed: decision-stream seed; together with each sample's
+            ``workload_seed`` and the threshold it fully determines the
+            chosen exit.
+        **kwargs: forwarded to :class:`BatchExecutor` (config,
+            energy_model, reduction, sparsity, reliability, service).
+    """
+
+    def __init__(self, *, exit_seed: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        self._init_exits(exit_seed)
+
+    def execute(
+        self,
+        model: str | ModelSpec,
+        workload_seeds: list[int],
+        stage: str | None = None,
+        threshold: float = ALWAYS_LATE,
+    ) -> DynamicBatchResult:
+        """Run one same-model batch, routing each sample to its exit."""
+        if not workload_seeds:
+            raise ValueError("a batch needs at least one request")
+        variant = self.exit_model_for(model)
+        if variant is None:
+            spec = self._resolve(model)
+            decisions: list = [None] * len(workload_seeds)
+            specs = [spec] * len(workload_seeds)
+        else:
+            decisions, specs = self._decide_batch(
+                variant, workload_seeds, threshold
+            )
+        reports = [
+            self.sample_report(spec, seed, stage)
+            for spec, seed in zip(specs, workload_seeds)
+        ]
+        return DynamicBatchResult(
+            reports=reports,
+            service_cycles=self.service.batch_service_cycles(reports),
+            decisions=decisions,
+        )
+
+
+class DynamicShardedExecutor(_ExitAware, ShardedExecutor):
+    """A :class:`~repro.serving.sharding.ShardedExecutor` that serves
+    single-chip models at early exits.
+
+    Models with a shard plan always run full depth (their split
+    partitions the whole backbone across the shard group); single-chip
+    models with a registered exit variant follow the threshold.  At
+    ``threshold == ALWAYS_LATE`` pricing is bit-identical to the plain
+    sharded executor for every model.
+
+    Args:
+        exit_seed: decision-stream seed.
+        **kwargs: forwarded to :class:`ShardedExecutor` (plans,
+            colocated, hardware config, ...).
+    """
+
+    def __init__(self, *, exit_seed: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        self._init_exits(exit_seed)
+
+    def execute(
+        self,
+        model,
+        workload_seeds,
+        stage=None,
+        threshold: float = ALWAYS_LATE,
+    ) -> ShardedBatchResult:
+        """Price one same-model batch, routing each sample to its exit."""
+        if not workload_seeds:
+            raise ValueError("a batch needs at least one request")
+        spec = self._resolve(model)
+        plan = self.plan_for(spec.name)
+        variant = self.exit_model_for(spec) if plan.kind == "none" else None
+        if variant is None:
+            return super().execute(spec, workload_seeds, stage=stage)
+        decisions, specs = self._decide_batch(
+            variant, workload_seeds, threshold
+        )
+        reports = [
+            self.sample_report(sample_spec, seed, stage)
+            for sample_spec, seed in zip(specs, workload_seeds)
+        ]
+        # single-chip pricing, with co-location inflation keyed on the
+        # *backbone* name -- a truncated spec competes for the same GLB
+        # partition its full model owns
+        memory = max(
+            self._inflated(spec.name, r.memory_cycles) for r in reports
+        )
+        compute = sum(r.compute_cycles for r in reports)
+        service = self.service.dispatch_overhead_cycles + memory + compute
+        return DynamicShardedBatchResult(
+            reports=reports,
+            service_cycles=service,
+            shard_busy_cycles=[memory + compute],
+            decisions=decisions,
+        )

@@ -67,6 +67,7 @@ from repro.serving.loadgen import (
     generate_trace,
 )
 from repro.serving.overload import SERVING_LADDER, OverloadPolicy
+from repro.serving.quality import QualityPolicy, decision_record_fields
 from repro.serving.request import (
     COMPLETED,
     FAIL_ATTEMPTS_EXHAUSTED,
@@ -126,6 +127,7 @@ __all__ = [
     "OverloadPolicy",
     "POLICY_LADDER",
     "PriorityBatcher",
+    "QualityPolicy",
     "REJECTED",
     "REJECT_QUEUE_FULL",
     "REJECT_RATE_LIMITED",
@@ -146,6 +148,7 @@ __all__ = [
     "TokenBucket",
     "TraceConfig",
     "WorkerPool",
+    "decision_record_fields",
     "generate_trace",
     "glb_partition",
     "initial_fleet_size",

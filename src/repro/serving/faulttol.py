@@ -62,10 +62,12 @@ from repro.reliability.workerfaults import (
     WorkerFaultModel,
     spawn_worker_streams,
 )
+from repro.dynamic.executor import DynamicBatchExecutor
 from repro.serving.admission import AdmissionController
 from repro.serving.batcher import DynamicBatcher
 from repro.serving.loadgen import TraceConfig, generate_trace
 from repro.serving.overload import SERVING_LADDER
+from repro.serving.quality import decision_record_fields
 from repro.serving.request import (
     COMPLETED,
     FAIL_ATTEMPTS_EXHAUSTED,
@@ -382,13 +384,14 @@ class _Attempt:
         "service_cycles",
         "fate",
         "is_hedge",
+        "decisions",
         "live",
         "abandoned",
     )
 
     def __init__(
         self, aid, requests, worker, generation, dispatch_cycle, stage,
-        service_cycles, fate, is_hedge,
+        service_cycles, fate, is_hedge, decisions=None,
     ):
         self.aid = aid
         self.requests = requests
@@ -399,6 +402,8 @@ class _Attempt:
         self.service_cycles = service_cycles
         self.fate = fate
         self.is_hedge = is_hedge
+        # rid -> ExitDecision of the quality axis (empty when static)
+        self.decisions = decisions if decisions is not None else {}
         self.live = True
         self.abandoned = False
 
@@ -475,6 +480,9 @@ class ChaosSummary:
     duplicates: int
     lost: int
     stage_counts: dict
+    early_exits: int = 0
+    mean_exit_depth: float = 1.0
+    mean_quality_drop: float = 0.0
 
     def as_dict(self) -> dict:
         """JSON-ready form (insertion-ordered, deterministic)."""
@@ -512,6 +520,9 @@ class ChaosSummary:
             "duplicates": self.duplicates,
             "lost": self.lost,
             "stage_counts": dict(self.stage_counts),
+            "early_exits": self.early_exits,
+            "mean_exit_depth": self.mean_exit_depth,
+            "mean_quality_drop": self.mean_quality_drop,
         }
 
     def format(self) -> str:
@@ -587,11 +598,12 @@ class FaultTolerantSimulator:
         self.faults = faults if faults is not None else WorkerFaultModel()
         self.policy = policy if policy is not None else policy_named("none")
         self.seed = seed
-        self.executor = (
-            executor
-            if executor is not None
-            else BatchExecutor(config=self.config.hardware)
-        )
+        if executor is None:
+            if self.config.quality.enabled:
+                executor = DynamicBatchExecutor(config=self.config.hardware)
+            else:
+                executor = BatchExecutor(config=self.config.hardware)
+        self.executor = executor
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -847,11 +859,33 @@ class FaultTolerantSimulator:
     ) -> None:
         cfg = self.config
         worker = self._workers[wid]
-        stage = cfg.overload.stage_for(
-            self._batcher.depth + len(batch), cfg.admission.max_queue_depth
-        )
-        result = self.executor.execute(
-            batch[0].model, [r.workload_seed for r in batch], stage=stage
+        pressure = self._batcher.depth + len(batch)
+        stage = cfg.overload.stage_for(pressure, cfg.admission.max_queue_depth)
+        if cfg.quality.enabled and isinstance(
+            self.executor, DynamicBatchExecutor
+        ):
+            threshold = cfg.quality.threshold_for(
+                pressure, cfg.admission.max_queue_depth
+            )
+            result = self.executor.execute(
+                batch[0].model,
+                [r.workload_seed for r in batch],
+                stage=stage,
+                threshold=threshold,
+            )
+        else:
+            result = self.executor.execute(
+                batch[0].model, [r.workload_seed for r in batch], stage=stage
+            )
+        batch_decisions = getattr(result, "decisions", None)
+        decisions = (
+            {
+                request.rid: decision
+                for request, decision in zip(batch, batch_decisions)
+                if decision is not None
+            }
+            if batch_decisions
+            else {}
         )
         fate = self._streams[wid].draw_fate()
         service = result.service_cycles
@@ -867,6 +901,7 @@ class FaultTolerantSimulator:
             service_cycles=service,
             fate=fate,
             is_hedge=is_hedge,
+            decisions=decisions,
         )
         self._next_aid += 1
         self._counts["dispatches"] += 1
@@ -1020,6 +1055,10 @@ class FaultTolerantSimulator:
             attempts=tracker.attempts,
             hedged=attempt.is_hedge,
             handed_back=tracker.handed_back,
+            **decision_record_fields(
+                tracker.request.model,
+                attempt.decisions.get(tracker.request.rid),
+            ),
         )
 
     def _fail(self, now: int, tracker: _Tracker, reason: str) -> None:
@@ -1104,6 +1143,7 @@ class FaultTolerantSimulator:
                 stage_counts[r.stage] = stage_counts.get(r.stage, 0) + 1
 
         admitted = len(completed) + len(failed)
+        early_exits = sum(1 for r in completed if r.exited_early)
         return ChaosSummary(
             offered=len(records),
             admitted=admitted,
@@ -1119,6 +1159,17 @@ class FaultTolerantSimulator:
             duplicates=self._counts["duplicates"],
             lost=lost,
             stage_counts=stage_counts,
+            early_exits=early_exits,
+            mean_exit_depth=(
+                sum(r.exit_depth for r in completed) / len(completed)
+                if completed
+                else 1.0
+            ),
+            mean_quality_drop=(
+                sum(r.quality_drop for r in completed) / len(completed)
+                if completed
+                else 0.0
+            ),
             **{
                 key: self._counts[key]
                 for key in self._counts

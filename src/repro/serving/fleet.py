@@ -42,10 +42,13 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+from repro.dynamic.decision import ALWAYS_LATE
+from repro.dynamic.executor import DynamicShardedExecutor
 from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.batcher import BatchPolicy, DynamicBatcher
 from repro.serving.loadgen import ClosedLoopConfig, TraceConfig, generate_trace
 from repro.serving.overload import OverloadPolicy
+from repro.serving.quality import QualityPolicy, decision_record_fields
 from repro.serving.request import COMPLETED, REJECTED, Request, RequestRecord
 from repro.serving.sharding import ShardedExecutor
 from repro.serving.slo import SloSummary, percentile, summarize
@@ -80,11 +83,15 @@ class SloClass:
         target_ms: end-to-end latency target; completions within it
             count as goodput.
         priority: scheduling rank, lower dispatches first.
+        sheddable: whether the quality axis may serve this class at
+            early exits under pressure; non-sheddable classes always run
+            full depth regardless of the fleet's quality policy.
     """
 
     name: str
     target_ms: float
     priority: int = 0
+    sheddable: bool = True
 
     def __post_init__(self):
         if not self.name:
@@ -280,6 +287,10 @@ class FleetConfig:
         admission: the router's admission knobs (queue bound, rate
             limit).
         overload: occupancy -> degradation-rung policy.
+        quality: occupancy -> early-exit-threshold policy (the depth
+            axis; disabled by default).  Applies to single-chip models
+            of SLO classes marked ``sheddable``; sharded models always
+            run full depth.
         autoscaler: fleet sizing policy.
         initial_servers: servers active at cycle 0 (clamped into the
             autoscaler's bounds by the simulator).
@@ -293,6 +304,7 @@ class FleetConfig:
     batch: BatchPolicy = field(default_factory=BatchPolicy)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     overload: OverloadPolicy = field(default_factory=OverloadPolicy)
+    quality: QualityPolicy = field(default_factory=QualityPolicy.disabled)
     autoscaler: AutoscalerPolicy = field(default_factory=AutoscalerPolicy)
     initial_servers: int = 1
     hardware: DuetConfig = field(default_factory=DuetConfig)
@@ -393,7 +405,8 @@ class FleetSimulator:
         config: fleet configuration (defaults to ``FleetConfig()``).
         executor: sharded batch executor; built from ``config`` when not
             supplied (plans + optional co-location over
-            ``config.hardware``).
+            ``config.hardware``; exit-aware when the quality policy is
+            enabled).
     """
 
     def __init__(
@@ -406,7 +419,12 @@ class FleetSimulator:
             colocated = (
                 tuple(self.config.model_classes) if self.config.colocate else ()
             )
-            executor = ShardedExecutor(
+            executor_cls = (
+                DynamicShardedExecutor
+                if self.config.quality.enabled
+                else ShardedExecutor
+            )
+            executor = executor_cls(
                 plans=self.config.plans,
                 colocated=colocated,
                 config=self.config.hardware,
@@ -603,18 +621,39 @@ class FleetSimulator:
             batch = self._batcher.pop_batch(now)
             if batch is None:
                 break
+            pressure = self._batcher.depth + len(batch)
             stage = cfg.overload.stage_for(
-                self._batcher.depth + len(batch),
-                cfg.admission.max_queue_depth,
+                pressure, cfg.admission.max_queue_depth
             )
             sid = heapq.heappop(self._idle)
-            result = self.executor.execute(
-                batch[0].model, [r.workload_seed for r in batch], stage=stage
-            )
+            if (
+                cfg.quality.enabled
+                and isinstance(self.executor, DynamicShardedExecutor)
+                and cfg.slo_class_for(batch[0].model).sheddable
+            ):
+                threshold = cfg.quality.threshold_for(
+                    pressure, cfg.admission.max_queue_depth
+                )
+            else:
+                threshold = None
+            if threshold is not None:
+                result = self.executor.execute(
+                    batch[0].model,
+                    [r.workload_seed for r in batch],
+                    stage=stage,
+                    threshold=threshold,
+                )
+            else:
+                result = self.executor.execute(
+                    batch[0].model,
+                    [r.workload_seed for r in batch],
+                    stage=stage,
+                )
+            decisions = getattr(result, "decisions", None)
             done = now + result.service_cycles
             self._servers[sid].add_busy(result.shard_busy_cycles)
             client_map = {}
-            for request in batch:
+            for index, request in enumerate(batch):
                 self._records[request.rid] = RequestRecord(
                     request,
                     COMPLETED,
@@ -622,6 +661,10 @@ class FleetSimulator:
                     batch_size=len(batch),
                     dispatch_cycle=now,
                     completion_cycle=done,
+                    **decision_record_fields(
+                        request.model,
+                        decisions[index] if decisions else None,
+                    ),
                 )
                 if closed_loop is not None:
                     client_map[request.rid] = self._client_of(request.rid)
@@ -708,9 +751,11 @@ class FleetSimulator:
             )
             good = sum(1 for value in latencies if value <= slo.target_ms)
             total_good += good
+            early = sum(1 for r in completed if r.exited_early)
             per_class[slo.name] = {
                 "target_ms": slo.target_ms,
                 "priority": slo.priority,
+                "sheddable": slo.sheddable,
                 "offered": len(members),
                 "completed": len(completed),
                 "rejected": len(members) - len(completed),
@@ -720,6 +765,17 @@ class FleetSimulator:
                     f"p{q}": percentile(latencies, q) if latencies else None
                     for q in (50, 95, 99)
                 },
+                "early_exits": early,
+                "mean_exit_depth": (
+                    sum(r.exit_depth for r in completed) / len(completed)
+                    if completed
+                    else 1.0
+                ),
+                "mean_quality_drop": (
+                    sum(r.quality_drop for r in completed) / len(completed)
+                    if completed
+                    else 0.0
+                ),
             }
         goodput_rps = total_good / duration_s if duration_s > 0 else 0.0
         return per_class, goodput_rps

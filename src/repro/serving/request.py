@@ -100,6 +100,12 @@ class RequestRecord:
             queue.  Each hand-back refunds the retry budget (the loss
             was the server's fault) but still counts in ``attempts``,
             so ``attempts`` may exceed the budget by exactly this many.
+        exit: early-exit head the request was served at (``"full"`` for
+            the complete backbone); None when the model has no
+            registered exit variant or the executor is not exit-aware.
+        exit_depth: backbone-MAC fraction executed (1.0 = full depth).
+        quality_drop: estimated accuracy delta the chosen exit cost
+            (0.0 at full depth or for static models).
     """
 
     request: Request
@@ -112,6 +118,14 @@ class RequestRecord:
     attempts: int = 0
     hedged: bool = False
     handed_back: int = 0
+    exit: str | None = None
+    exit_depth: float = 1.0
+    quality_drop: float = 0.0
+
+    @property
+    def exited_early(self) -> bool:
+        """True when the request was served at a side exit."""
+        return self.exit is not None and self.exit != "full"
 
     @property
     def completed(self) -> bool:

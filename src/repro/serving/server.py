@@ -29,10 +29,12 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.dynamic.executor import DynamicBatchExecutor
 from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.batcher import BatchPolicy, DynamicBatcher
 from repro.serving.loadgen import TraceConfig, generate_trace
 from repro.serving.overload import OverloadPolicy
+from repro.serving.quality import QualityPolicy, decision_record_fields
 from repro.serving.request import COMPLETED, REJECTED, Request, RequestRecord
 from repro.serving.slo import SloSummary, summarize
 from repro.serving.workers import BatchExecutor, WorkerPool
@@ -52,6 +54,9 @@ class ServerConfig:
         batch: dynamic-batching policy.
         admission: admission-control knobs.
         overload: occupancy -> degradation-rung policy.
+        quality: occupancy -> early-exit-threshold policy (the depth
+            axis; disabled by default, which serves every request at
+            full static depth).
         hardware: the per-worker accelerator configuration (also fixes
             the simulated clock).
     """
@@ -60,6 +65,7 @@ class ServerConfig:
     batch: BatchPolicy = field(default_factory=BatchPolicy)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     overload: OverloadPolicy = field(default_factory=OverloadPolicy)
+    quality: QualityPolicy = field(default_factory=QualityPolicy.disabled)
     hardware: DuetConfig = field(default_factory=DuetConfig)
 
     def __post_init__(self):
@@ -95,8 +101,9 @@ class ServingSimulator:
     Args:
         config: server configuration (defaults to ``ServerConfig()``).
         executor: batch executor; built from ``config.hardware`` when not
-            supplied.  Injecting a stub executor keeps policy-level tests
-            free of accelerator simulation.
+            supplied (exit-aware when the quality policy is enabled).
+            Injecting a stub executor keeps policy-level tests free of
+            accelerator simulation.
     """
 
     def __init__(
@@ -105,11 +112,12 @@ class ServingSimulator:
         executor: BatchExecutor | None = None,
     ):
         self.config = config if config is not None else ServerConfig()
-        self.executor = (
-            executor
-            if executor is not None
-            else BatchExecutor(config=self.config.hardware)
-        )
+        if executor is None:
+            if self.config.quality.enabled:
+                executor = DynamicBatchExecutor(config=self.config.hardware)
+            else:
+                executor = BatchExecutor(config=self.config.hardware)
+        self.executor = executor
 
     def run(self, trace: list[Request]) -> ServingResult:
         """Simulate one trace to completion."""
@@ -169,15 +177,30 @@ class ServingSimulator:
                 break
             # the rung is decided at the pressure the dispatcher saw,
             # i.e. the depth including the batch it is about to serve
+            pressure = batcher.depth + len(batch)
             stage = cfg.overload.stage_for(
-                batcher.depth + len(batch), cfg.admission.max_queue_depth
+                pressure, cfg.admission.max_queue_depth
             )
             worker = pool.acquire()
-            result = self.executor.execute(
-                batch[0].model, [r.workload_seed for r in batch], stage=stage
-            )
+            if cfg.quality.enabled and isinstance(
+                self.executor, DynamicBatchExecutor
+            ):
+                threshold = cfg.quality.threshold_for(
+                    pressure, cfg.admission.max_queue_depth
+                )
+                result = self.executor.execute(
+                    batch[0].model,
+                    [r.workload_seed for r in batch],
+                    stage=stage,
+                    threshold=threshold,
+                )
+            else:
+                result = self.executor.execute(
+                    batch[0].model, [r.workload_seed for r in batch], stage=stage
+                )
+            decisions = getattr(result, "decisions", None)
             done = now + result.service_cycles
-            for request in batch:
+            for index, request in enumerate(batch):
                 records[request.rid] = RequestRecord(
                     request,
                     COMPLETED,
@@ -185,6 +208,10 @@ class ServingSimulator:
                     batch_size=len(batch),
                     dispatch_cycle=now,
                     completion_cycle=done,
+                    **decision_record_fields(
+                        request.model,
+                        decisions[index] if decisions else None,
+                    ),
                 )
             heapq.heappush(events, (done, seq, _DONE, worker))
             seq += 1

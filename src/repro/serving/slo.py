@@ -70,6 +70,13 @@ class SloSummary:
             there (every rung listed, zeros included).
         degraded: completed requests served below the top rung.
         degrade_rate: degraded / completed.
+        early_exits: completed requests served at an early-exit head
+            (quality shedding; 0 when the run was static or always-late).
+        early_exit_rate: early_exits / completed.
+        mean_exit_depth: mean backbone-depth fraction over completed
+            requests (1.0 for static / always-late runs).
+        mean_quality_drop: mean estimated accuracy delta over completed
+            requests (0.0 for static / always-late runs).
     """
 
     offered: int
@@ -86,6 +93,10 @@ class SloSummary:
     stage_counts: dict
     degraded: int
     degrade_rate: float
+    early_exits: int = 0
+    early_exit_rate: float = 0.0
+    mean_exit_depth: float = 1.0
+    mean_quality_drop: float = 0.0
 
     def as_dict(self) -> dict:
         """JSON-ready form (insertion-ordered, deterministic)."""
@@ -104,6 +115,10 @@ class SloSummary:
             "stage_counts": dict(self.stage_counts),
             "degraded": self.degraded,
             "degrade_rate": self.degrade_rate,
+            "early_exits": self.early_exits,
+            "early_exit_rate": self.early_exit_rate,
+            "mean_exit_depth": self.mean_exit_depth,
+            "mean_quality_drop": self.mean_quality_drop,
         }
 
     def format(self) -> str:
@@ -137,6 +152,13 @@ class SloSummary:
             f"  stages     : {stages}  (degraded {self.degraded}, "
             f"{format_percent(self.degrade_rate)})"
         )
+        if self.early_exits:
+            lines.append(
+                f"  quality    : {self.early_exits} early exits "
+                f"({format_percent(self.early_exit_rate)}), mean depth "
+                f"{self.mean_exit_depth:.3f}, mean est. accuracy drop "
+                f"{format_percent(self.mean_quality_drop)}"
+            )
         if self.rejects_by_reason:
             reasons = "  ".join(
                 f"{reason}={count}"
@@ -181,6 +203,7 @@ def summarize(
     degraded = sum(
         count for stage, count in stage_counts.items() if stage != ladder[0]
     )
+    early_exits = sum(1 for r in completed if r.exited_early)
 
     return SloSummary(
         offered=len(records),
@@ -197,4 +220,16 @@ def summarize(
         stage_counts=stage_counts,
         degraded=degraded,
         degrade_rate=degraded / len(completed) if completed else 0.0,
+        early_exits=early_exits,
+        early_exit_rate=early_exits / len(completed) if completed else 0.0,
+        mean_exit_depth=(
+            sum(r.exit_depth for r in completed) / len(completed)
+            if completed
+            else 1.0
+        ),
+        mean_quality_drop=(
+            sum(r.quality_drop for r in completed) / len(completed)
+            if completed
+            else 0.0
+        ),
     )

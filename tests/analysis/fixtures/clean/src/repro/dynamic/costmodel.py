@@ -1,0 +1,5 @@
+"""DYN001 clean fixture cost model: the whole registry is priced."""
+
+EXIT_PRICING: dict = {
+    "alexnet": (0.05, 1.5),
+}

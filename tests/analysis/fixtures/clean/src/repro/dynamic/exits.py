@@ -1,0 +1,5 @@
+"""DYN001 clean fixture: every registered backbone is priced and tested."""
+
+EXIT_REGISTRY: dict = {
+    "alexnet": ("ee1", "ee2"),
+}

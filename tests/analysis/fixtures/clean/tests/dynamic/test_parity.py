@@ -1,0 +1,5 @@
+"""DYN001 clean fixture parity suite: references every registered backbone."""
+
+
+def test_alexnet_full_depth_is_static():
+    assert "alexnet"

@@ -1,0 +1,5 @@
+"""DYN001 fixture cost model: prices only part of the registry."""
+
+EXIT_PRICING: dict = {
+    "alexnet": (0.05, 1.5),
+}

@@ -1,0 +1,11 @@
+"""DYN001 fixture: a registered backbone without pricing or parity coverage.
+
+``alexnet`` is fully covered; ``widget`` is registered here but has no
+``EXIT_PRICING`` entry in the fixture cost model and is never mentioned
+by the fixture parity suite -- two DYN001 findings on its key.
+"""
+
+EXIT_REGISTRY: dict = {
+    "alexnet": ("ee1", "ee2"),
+    "widget": ("ee1",),
+}

@@ -1,0 +1,5 @@
+"""DYN001 fixture parity suite: covers only part of the registry."""
+
+
+def test_alexnet_full_depth_is_static():
+    assert "alexnet"

@@ -34,6 +34,7 @@ class TestViolationsTree:
         assert grouped["src/repro/sim/config.py"] == Counter({"CFG001": 3})
         assert grouped["src/repro/parallel_rng.py"] == Counter({"PAR002": 2})
         assert grouped["src/repro/serving/retrier.py"] == Counter({"REL003": 3})
+        assert grouped["src/repro/dynamic/exits.py"] == Counter({"DYN001": 2})
 
         # No fixture file trips a rule it was not written to demonstrate.
         assert set(grouped) == {
@@ -47,6 +48,7 @@ class TestViolationsTree:
             "src/repro/sim/config.py",
             "src/repro/parallel_rng.py",
             "src/repro/serving/retrier.py",
+            "src/repro/dynamic/exits.py",
         }
 
     def test_findings_carry_positions_and_severity(self, violations_root):

@@ -66,6 +66,7 @@ class TestCommittedDocuments:
             ("BENCH_faults.json", "duet-faults/1"),
             ("BENCH_chaos.json", "duet-chaos/1"),
             ("BENCH_fleet.json", "duet-fleet/1"),
+            ("BENCH_dynamic.json", "duet-dynamic/1"),
             (".duetlint-baseline.json", "duetlint-baseline/1"),
         ],
     )

@@ -1,0 +1,88 @@
+"""Tests for ``tools/compare_bench.py`` -- the determinism-view differ."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", REPO_ROOT / "tools" / "compare_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("compare_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _dynamic_document(goodput: float, drop: float, dominance: bool) -> dict:
+    return {
+        "schema": "duet-dynamic/1",
+        "scenarios": [
+            {
+                "name": "overload_quality",
+                "goodput_rps": goodput,
+                "mean_exit_depth": 0.9,
+                "mean_quality_drop": drop,
+            },
+            {
+                "name": "overload_ladder",
+                "goodput_rps": 30.0,
+                "mean_exit_depth": 1.0,
+                "mean_quality_drop": 0.0,
+            },
+        ],
+        "verdicts": {"goodput_dominance": dominance},
+        "perf": {"wall_s": 1.0},
+    }
+
+
+def _write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestCompare:
+    def test_equal_views_exit_zero(self, compare_bench, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", _dynamic_document(66.0, 0.006, True))
+        b = _write(tmp_path, "b.json", _dynamic_document(66.0, 0.006, True))
+        # only the stripped perf block differs
+        assert compare_bench.main([a, b]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing_views_exit_one(self, compare_bench, tmp_path):
+        a = _write(tmp_path, "a.json", {"schema": "duet-fleet/1", "x": 1})
+        b = _write(tmp_path, "b.json", {"schema": "duet-fleet/1", "x": 2})
+        assert compare_bench.main([a, b]) == 1
+
+    def test_dynamic_mismatch_prints_scenario_deltas(
+        self, compare_bench, tmp_path, capsys
+    ):
+        a = _write(tmp_path, "a.json", _dynamic_document(60.0, 0.004, True))
+        b = _write(tmp_path, "b.json", _dynamic_document(66.5, 0.006, False))
+        assert compare_bench.main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "per-scenario deltas" in out
+        assert "overload_quality: goodput_rps +6.5" in out
+        assert "mean_quality_drop +0.0020" in out
+        assert "verdicts flipped: goodput_dominance" in out
+
+    def test_non_dynamic_mismatch_stays_bare(
+        self, compare_bench, tmp_path, capsys
+    ):
+        a = _write(tmp_path, "a.json", {"schema": "duet-fleet/1", "x": 1})
+        b = _write(tmp_path, "b.json", {"schema": "duet-fleet/1", "x": 2})
+        compare_bench.main([a, b])
+        assert "per-scenario deltas" not in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, compare_bench, tmp_path):
+        a = _write(tmp_path, "a.json", {"schema": "duet-fleet/1"})
+        assert compare_bench.main([a, str(tmp_path / "nope.json")]) == 2
+        assert compare_bench.main([a]) == 2

@@ -8,6 +8,12 @@ trail, wall-clock fields -- see
 This is the check CI runs between ``--jobs 1`` and ``--jobs N`` outputs:
 the views must agree exactly even though the wall clocks never will.
 
+Differing ``duet-dynamic/1`` pairs additionally get a per-scenario
+quality/goodput delta table (goodput, mean exit depth, mean estimated
+drop per serving scenario, B relative to A) instead of only the bare
+first-difference path -- the campaign's interesting drift is almost
+always one of those axes.
+
 Exit convention: 0 equal, 1 documents differ, 2 usage or I/O error.
 """
 
@@ -46,6 +52,47 @@ def _first_diff(a, b, path: str = "$") -> str | None:
     return None if a == b else path
 
 
+#: the schema whose mismatches get the per-scenario delta report.
+_DYNAMIC_SCHEMA = "duet-dynamic/1"
+
+
+def _dynamic_deltas(a: dict, b: dict) -> list[str]:
+    """Per-scenario quality/goodput delta lines for two dynamic documents."""
+    a_scenarios = {
+        s.get("name"): s for s in a.get("scenarios", []) if isinstance(s, dict)
+    }
+    b_scenarios = {
+        s.get("name"): s for s in b.get("scenarios", []) if isinstance(s, dict)
+    }
+    lines = []
+    for name in sorted(set(a_scenarios) | set(b_scenarios)):
+        if name not in a_scenarios or name not in b_scenarios:
+            only = "B" if name not in a_scenarios else "A"
+            lines.append(f"  {name}: present only in {only}")
+            continue
+        left, right = a_scenarios[name], b_scenarios[name]
+        deltas = []
+        for key, fmt in (
+            ("goodput_rps", "+.1f"),
+            ("mean_exit_depth", "+.3f"),
+            ("mean_quality_drop", "+.4f"),
+        ):
+            x, y = left.get(key), right.get(key)
+            if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+                deltas.append(f"{key} {format(y - x, fmt)}")
+        lines.append(f"  {name}: " + (", ".join(deltas) or "no shared metrics"))
+    a_verdicts = a.get("verdicts", {})
+    b_verdicts = b.get("verdicts", {})
+    flipped = sorted(
+        key
+        for key in set(a_verdicts) | set(b_verdicts)
+        if a_verdicts.get(key) != b_verdicts.get(key)
+    )
+    if flipped:
+        lines.append(f"  verdicts flipped: {', '.join(flipped)}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 2:
@@ -65,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
     diff = _first_diff(*views)
     if diff is not None:
         print(f"documents differ at {diff} (after stripping perf/history)")
+        if all(d.get("schema") == _DYNAMIC_SCHEMA for d in documents):
+            print("per-scenario deltas (B - A):")
+            for line in _dynamic_deltas(*views):
+                print(line)
         return 1
     print(f"deterministic views of {argv[0]} and {argv[1]} are identical")
     return 0
