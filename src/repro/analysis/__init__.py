@@ -3,51 +3,20 @@
 An AST-based lint engine that mechanically enforces the invariants the
 repo otherwise keeps only by convention -- seeded determinism, fast/slow
 path parity, the exit-2 CLI convention, schema-versioned bench files,
-and exception/float-comparison hygiene.  See ``docs/linting.md`` for the
-rule catalogue and the suppression/baseline workflow.
+exception/float-comparison hygiene, and (via the whole-program pass) the
+package layering contract, RNG seed provenance, exit pricing coverage,
+and dead-export pruning.  See ``docs/linting.md`` for the rule catalogue
+and the suppression/baseline workflow.
 
 Entry points:
 
 - ``python -m repro lint`` (the CLI; exit 0 clean, 1 findings, 2 usage)
 - ``python tools/duetlint.py`` (standalone console entry)
-- ``python tools/lint_changed.py`` (lint only files changed vs main)
-- :func:`run_lint` (the library API used by the tests)
+- ``python tools/lint_changed.py`` (lint changed files + their dependents)
+- :func:`repro.analysis.engine.run_lint` (the library API the tests use)
+
+This ``__init__`` deliberately re-exports nothing: every consumer --
+the CLI, the tools, the tests -- imports from the defining submodule
+(``engine``, ``findings``, ``rules``, ``project``, ...), which is
+exactly the discipline DEAD001 enforces on the rest of the tree.
 """
-
-from repro.analysis.baseline import (
-    BASELINE_SCHEMA,
-    DEFAULT_BASELINE_NAME,
-    load_baseline,
-    save_baseline,
-)
-from repro.analysis.engine import (
-    LintResult,
-    ParsedModule,
-    Project,
-    discover_files,
-    run_lint,
-)
-from repro.analysis.findings import Finding
-from repro.analysis.rules import REGISTRY, Rule, default_rules, get_rules, register
-from repro.analysis.schema import SchemaError, parse_schema, validate_schema
-
-__all__ = [
-    "BASELINE_SCHEMA",
-    "DEFAULT_BASELINE_NAME",
-    "Finding",
-    "LintResult",
-    "ParsedModule",
-    "Project",
-    "REGISTRY",
-    "Rule",
-    "SchemaError",
-    "default_rules",
-    "discover_files",
-    "get_rules",
-    "load_baseline",
-    "parse_schema",
-    "register",
-    "run_lint",
-    "save_baseline",
-    "validate_schema",
-]

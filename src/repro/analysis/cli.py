@@ -21,6 +21,7 @@ from repro.analysis.baseline import (
     save_baseline,
 )
 from repro.analysis.engine import run_lint
+from repro.analysis.incremental import IncrementalCache
 from repro.analysis.rules import REGISTRY, get_rules
 from repro.analysis.schema import validate_schema
 
@@ -65,6 +66,20 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="also write the JSON report document to PATH",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the per-file pass over N worker processes "
+        "(byte-identical report for any N; default 1, inline)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the incremental result cache (.duet-cache/)",
+    )
+    parser.add_argument(
+        "--graph-output", default=None, metavar="PATH",
+        help="also write the whole-program import graph "
+        "(duetlint-graph/1 JSON) to PATH",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", dest="list_rules",
         help="list registered rules and exit",
     )
@@ -93,6 +108,20 @@ def _report_document(result, rules, root: str) -> dict:
     return document
 
 
+def _write_graph(path: str, result, root: Path) -> None:
+    """Write the import-graph document (building it if no project rule
+    ran, so ``--rule DET001 --graph-output`` still works)."""
+    program = result.program
+    if program is None:
+        from repro.analysis.engine import Project
+        from repro.analysis.project import ProgramModel
+
+        program = ProgramModel.build(Project(root))
+    Path(path).write_text(
+        json.dumps(program.graph_document(), indent=2, sort_keys=True) + "\n"
+    )
+
+
 def cmd_lint(args, out) -> int:
     """Run the lint per ``args``; returns the exit code (0/1).
 
@@ -111,10 +140,16 @@ def cmd_lint(args, out) -> int:
             f"lint root {root} has no src/ directory (use --root to point "
             "at the repository root)"
         )
+    if args.jobs < 1:
+        raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
     rules = get_rules(args.rule)
+    cache = IncrementalCache(root, enabled=not args.no_cache)
     baseline_path = root / DEFAULT_BASELINE_NAME
     if args.baseline == "update":
-        result = run_lint(root, paths=args.paths or None, rules=rules)
+        result = run_lint(
+            root, paths=args.paths or None, rules=rules,
+            jobs=args.jobs, cache=cache,
+        )
         save_baseline(baseline_path, result.findings)
         out.write(
             f"baseline updated: {len(result.findings)} finding(s) "
@@ -127,7 +162,11 @@ def cmd_lint(args, out) -> int:
         paths=args.paths or None,
         rules=rules,
         baseline_fingerprints=fingerprints,
+        jobs=args.jobs,
+        cache=cache,
     )
+    if args.graph_output:
+        _write_graph(args.graph_output, result, root)
     document = _report_document(result, rules, args.root)
     if args.output:
         Path(args.output).write_text(json.dumps(document, indent=2) + "\n")

@@ -2,10 +2,15 @@
 
 The engine walks the lint roots (``src/`` and ``tools/`` by default),
 parses every ``*.py`` file once, hands each :class:`ParsedModule` to the
-registered rules that claim it, and then filters the raw findings
-through inline suppressions and the committed baseline.  Rules are pure
-functions of ``(module, project)`` -- all repo-wide context (the
-fast-path equivalence test, ``docs/api.md``) goes through the
+registered per-file rules that claim it, and runs the whole-program
+rules (:class:`~repro.analysis.rules.ProjectRule`) once over the
+:class:`~repro.analysis.project.ProgramModel` of the entire tree.  Raw
+findings from both passes are then filtered through inline suppressions
+and the committed baseline *in the parent* -- workers and the
+incremental cache only ever see raw findings, which is what makes
+``--jobs N`` sharding and cache hits byte-identical to a cold serial
+run.  Rules are pure functions of their inputs -- all repo-wide context
+(the fast-path equivalence test, ``docs/api.md``) goes through the
 :class:`Project` so the whole engine can be pointed at a fixture tree in
 tests.
 """
@@ -175,12 +180,22 @@ class LintResult:
         suppressed: count removed by inline suppressions.
         baselined: count removed by the baseline file.
         files_scanned: number of files parsed and checked.
+        cache_hits: incremental-cache entries served from disk (0 when
+            uncached).  Excluded from the JSON report document: warm
+            and cold runs must serialize identically.
+        cache_misses: entries recomputed this run (ditto).
+        program: the built :class:`~repro.analysis.project.ProgramModel`
+            when whole-program rules ran, for ``--graph-output``; never
+            serialized.
     """
 
     findings: list[Finding]
     suppressed: int = 0
     baselined: int = 0
     files_scanned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    program: object | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -232,11 +247,106 @@ def discover_files(root: Path, paths: list[str] | None = None) -> list[str]:
     return sorted(found)
 
 
+def _check_file(project: Project, relpath: str, source: str, rules: list) -> list[Finding]:
+    """Raw findings of the per-file rules on one source file.
+
+    Pre-suppression, pre-baseline: this is the unit of work the
+    incremental cache stores and the ``--jobs`` workers return.
+    Unparseable files produce a single ``parse-error`` finding.
+    """
+    try:
+        module = ParsedModule.parse(relpath, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="parse-error",
+                message=f"could not parse file: {exc.msg}",
+                severity="error",
+                line_text=(exc.text or "").rstrip("\n"),
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(relpath):
+            findings.extend(rule.check(module, project))
+    return findings
+
+
+def _context_digest(project: Project, rules: list) -> str:
+    """Digest over the declared ``context_files`` of ``rules``."""
+    from repro.analysis.incremental import IncrementalCache
+
+    parts = sorted(
+        {
+            (ctx, project.read_text(ctx) or "<absent>")
+            for rule in rules
+            for ctx in rule.context_files
+        }
+    )
+    return IncrementalCache.content_digest(list(parts))
+
+
+def _lint_shard(
+    root: str,
+    relpaths: list[str],
+    rule_codes: list[str],
+    cache_enabled: bool,
+) -> tuple[list[dict], int, int, int]:
+    """One ``--jobs`` work unit: lint ``relpaths`` with the per-file rules.
+
+    Top-level (picklable) so :func:`repro.parallel.run_sharded` can ship
+    it to a worker process under any start method.  Returns
+    ``(finding payloads, files scanned, cache hits, cache misses)`` --
+    raw findings only; the parent applies suppressions and the baseline.
+    """
+    from repro.analysis.incremental import IncrementalCache, engine_digest
+    from repro.analysis.rules import get_rules
+
+    project = Project(root)
+    rules = get_rules(rule_codes) if rule_codes else []
+    cache = IncrementalCache(root, enabled=cache_enabled)
+    engine = engine_digest() if cache.enabled else ""
+    context = _context_digest(project, rules)
+    payloads: list[dict] = []
+    scanned = 0
+    for relpath in relpaths:
+        source = project.read_text(relpath)
+        if source is None:
+            continue
+        scanned += 1
+        key = cache.module_key(engine, rule_codes, context, relpath, source)
+        findings = cache.load(key)
+        if findings is None:
+            findings = _check_file(project, relpath, source, rules)
+            cache.store(key, findings)
+        payloads.extend(f.to_payload() for f in findings)
+    return payloads, scanned, cache.hits, cache.misses
+
+
+def _make_shards(relpaths: list[str], jobs: int) -> list[list[str]]:
+    """Contiguous shards of the (sorted) work-list.
+
+    Sharding never affects output -- findings are re-sorted and counts
+    summed in the parent -- so the split only balances work.  A few
+    shards per worker smooths out expensive files.
+    """
+    if not relpaths:
+        return []
+    shard_count = min(len(relpaths), max(1, jobs * 4 if jobs > 1 else 1))
+    size = -(-len(relpaths) // shard_count)
+    return [relpaths[i : i + size] for i in range(0, len(relpaths), size)]
+
+
 def run_lint(
     root: str | Path,
     paths: list[str] | None = None,
     rules: list | None = None,
     baseline_fingerprints: set[str] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> LintResult:
     """Lint ``paths`` under ``root`` with ``rules``.
 
@@ -244,60 +354,122 @@ def run_lint(
         root: lint root directory; rule scopes and the baseline are
             interpreted relative to it.
         paths: explicit file/directory selection (default: ``src`` and
-            ``tools`` under ``root``).
+            ``tools`` under ``root``).  Whole-program rules always see
+            the full tree; their findings are filtered to the selection.
         rules: rule instances to run (default: every registered rule --
             resolved lazily to avoid an import cycle with
             :mod:`repro.analysis.rules`).
         baseline_fingerprints: fingerprints of grandfathered findings to
             filter out.
+        jobs: worker processes for the per-file pass (sharded through
+            :func:`repro.parallel.run_sharded`); output is byte-identical
+            for every value.
+        cache: an :class:`~repro.analysis.incremental.IncrementalCache`,
+            or None to lint cold.
 
     Returns:
         A :class:`LintResult`.  Unparseable files produce a single
         ``parse-error`` finding rather than aborting the run.
     """
+    from repro.analysis.rules import ProjectRule
+
     if rules is None:
         from repro.analysis.rules import default_rules
 
         rules = default_rules()
     project = Project(root)
     baseline_fingerprints = baseline_fingerprints or set()
-    findings: list[Finding] = []
-    suppressed = baselined = scanned = 0
-    for relpath in discover_files(project.root, paths):
-        source = project.read_text(relpath)
-        if source is None:
-            continue
-        scanned += 1
-        try:
-            module = ParsedModule.parse(relpath, source)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule="parse-error",
-                    message=f"could not parse file: {exc.msg}",
-                    severity="error",
-                    line_text=(exc.text or "").rstrip("\n"),
-                )
+    selected = discover_files(project.root, paths)
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    raw: list[Finding] = []
+    scanned = cache_hits = cache_misses = 0
+
+    # per-file pass, sharded (jobs=1 runs inline through the same path)
+    from repro.parallel import CampaignTask, run_sharded
+
+    shards = _make_shards(selected, jobs)
+    tasks = [
+        CampaignTask(
+            index=i,
+            fn=_lint_shard,
+            kwargs={
+                "root": str(project.root),
+                "relpaths": shard,
+                "rule_codes": [r.code for r in file_rules],
+                "cache_enabled": cache is not None and cache.enabled,
+            },
+        )
+        for i, shard in enumerate(shards)
+    ]
+    run = run_sharded(tasks, jobs=jobs, clock=None, warm=False)
+    for payloads, shard_scanned, hits, misses in run.results:
+        raw.extend(Finding.from_payload(p) for p in payloads)
+        scanned += shard_scanned
+        cache_hits += hits
+        cache_misses += misses
+
+    # whole-program pass, in the parent
+    program = None
+    if project_rules:
+        from repro.analysis.incremental import engine_digest
+        from repro.analysis.project import ProgramModel
+
+        program = ProgramModel.build(project)
+        project_findings = None
+        key = None
+        if cache is not None and cache.enabled:
+            parts = [
+                (info.relpath, info.parsed.source)
+                for info in program.modules.values()
+            ]
+            parts.extend(
+                (f"context:{ctx}", project.read_text(ctx) or "<absent>")
+                for rule in project_rules
+                for ctx in rule.context_files
             )
-            continue
-        per_line, whole_file = iter_suppressions(source)
-        for rule in rules:
-            if not rule.applies_to(relpath):
-                continue
-            for finding in rule.check(module, project):
-                if _suppressed(finding, per_line, whole_file):
-                    suppressed += 1
-                elif finding.fingerprint in baseline_fingerprints:
-                    baselined += 1
-                else:
-                    findings.append(finding)
+            key = cache.program_key(
+                engine_digest(),
+                [r.code for r in project_rules],
+                cache.content_digest(parts),
+            )
+            project_findings = cache.load(key)
+        if project_findings is None:
+            project_findings = []
+            for rule in project_rules:
+                project_findings.extend(rule.check_program(program, project))
+            if key is not None:
+                cache.store(key, project_findings)
+        selected_set = set(selected)
+        raw.extend(f for f in project_findings if f.path in selected_set)
+        cache_hits += cache.hits if cache is not None else 0
+        cache_misses += cache.misses if cache is not None else 0
+
+    # parent-side filtering: suppressions, then baseline
+    findings: list[Finding] = []
+    suppressed = baselined = 0
+    suppression_cache: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    for finding in raw:
+        if finding.path not in suppression_cache:
+            source = project.read_text(finding.path)
+            suppression_cache[finding.path] = (
+                iter_suppressions(source) if source is not None else ({}, set())
+            )
+        per_line, whole_file = suppression_cache[finding.path]
+        if _suppressed(finding, per_line, whole_file):
+            suppressed += 1
+        elif finding.fingerprint in baseline_fingerprints:
+            baselined += 1
+        else:
+            findings.append(finding)
     findings.sort()
     return LintResult(
         findings=findings,
         suppressed=suppressed,
         baselined=baselined,
         files_scanned=scanned,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        program=program,
     )

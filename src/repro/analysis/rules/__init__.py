@@ -18,13 +18,10 @@ from repro.analysis.engine import ParsedModule, Project
 from repro.analysis.findings import Finding
 
 __all__ = [
-    "Rule",
+    "ProjectRule",
     "REGISTRY",
-    "register",
     "default_rules",
     "get_rules",
-    "dotted_name",
-    "resolve_target",
 ]
 
 
@@ -35,11 +32,16 @@ class Rule:
         code: unique rule identifier (``AAA000`` convention).
         title: one-line summary shown in ``--list-rules``.
         severity: default severity of this rule's findings.
+        context_files: repo-relative files (beyond the linted module
+            itself) whose contents feed this rule's verdicts -- the
+            incremental cache invalidates cached module results when any
+            of them change.
     """
 
     code: str = ""
     title: str = ""
     severity: str = "error"
+    context_files: tuple[str, ...] = ()
 
     def applies_to(self, relpath: str) -> bool:
         """Whether this rule runs on ``relpath`` (default: ``src/**``)."""
@@ -53,6 +55,32 @@ class Rule:
     def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
         """A finding at ``node`` carrying this rule's code and severity."""
         return module.finding(node, self.code, message, self.severity)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule runs once per lint invocation over the
+    :class:`~repro.analysis.project.ProgramModel` rather than once per
+    file; :meth:`applies_to` filters which *findings* survive (by the
+    path they are anchored at), not which files are visited.  Because
+    their verdicts depend on the entire tree, project-rule results are
+    cached against a whole-program fingerprint, never per module.
+    """
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Project rules do no per-file work."""
+        return iter(())
+
+    def check_program(self, program, project: Project) -> Iterator[Finding]:
+        """Yield findings over the whole program; override in subclasses.
+
+        Args:
+            program: the built :class:`~repro.analysis.project.ProgramModel`.
+            project: the read-only tree view (for context files).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
 
 
 #: code -> rule class, populated by :func:`register`.
@@ -126,14 +154,22 @@ def resolve_target(module: ParsedModule, node: ast.AST) -> str | None:
     return dotted
 
 
-# Import the rule modules for their registration side effects.
+# Import the rule modules for their registration side effects.  The
+# whole-program rules (layering, seeddataflow, pricing, deadcode) import
+# repro.analysis.project / .dataflow, which import this module back for
+# the base classes -- keep them after the per-file rules so the bases
+# above are defined by the time they load.
 from repro.analysis.rules import (  # noqa: E402,F401
     configdoc,
     conventions,
+    deadcode,
     determinism,
     dynamic,
+    layering,
     numerics,
     parallelism,
     parity,
+    pricing,
     reliability,
+    seeddataflow,
 )

@@ -60,6 +60,7 @@ class ConfigFieldRule(Rule):
     """CFG001: DuetConfig fields are validated and documented."""
 
     code = "CFG001"
+    context_files = (_DOC_FILE,)
     title = "DuetConfig fields validated in __post_init__, listed in docs/api.md"
 
     def applies_to(self, relpath: str) -> bool:

@@ -1,0 +1,148 @@
+"""DEAD001: every public package export is referenced from outside.
+
+A package ``__init__.py`` is the package's public API surface: its
+``__all__`` (or, lacking one, its top-level re-export imports) promises
+those names to the rest of the repo.  An export nobody outside the
+package references is API rot -- it inflates the surface the layering
+and pricing contracts must police, and it silently breaks without any
+test noticing.  DEAD001 walks the whole program (``src/``, ``tools/``,
+``tests/``, ``benchmarks/``, ``examples/``) and flags exports with zero
+cross-module references.
+
+A reference is any of:
+
+- ``from pkg import name`` (or ``import *``) in a module outside the
+  package's subtree;
+- an attribute use resolving to ``pkg.name`` after ``import pkg`` or an
+  aliased import;
+- for exports naming *submodules*, any import of ``pkg.name`` or a
+  deeper path.
+
+Uses from inside the package's own subtree do not count -- siblings
+import the defining module directly, so they cannot justify keeping the
+re-export alive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Project
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, ProgramModel
+from repro.analysis.rules import ProjectRule, dotted_name, register, resolve_target
+
+import ast
+
+
+def _exports(info: ModuleInfo) -> list[tuple[str, int]]:
+    """Public ``(name, line)`` exports promised by a package __init__."""
+    if info.explicit_all is not None:
+        return [
+            (name, info.all_line)
+            for name in info.explicit_all
+            if not name.startswith("_")
+        ]
+    return sorted(
+        (name, line)
+        for name, (kind, line) in info.symbols.items()
+        if kind == "import" and not name.startswith("_")
+    )
+
+
+def _attribute_refs(info: ModuleInfo) -> set[str]:
+    """Absolute dotted paths of every attribute chain in ``info``."""
+    refs: set[str] = set()
+    for node in ast.walk(info.parsed.tree):
+        if isinstance(node, ast.Attribute):
+            if dotted_name(node) is None:
+                continue
+            resolved = resolve_target(info.parsed, node)
+            if resolved is not None:
+                refs.add(resolved)
+    return refs
+
+
+@register
+class DeadExportRule(ProjectRule):
+    """DEAD001: package exports must have cross-module references."""
+
+    code = "DEAD001"
+    title = "public __init__ exports are referenced outside their package"
+
+    def check_program(
+        self, program: ProgramModel, project: Project
+    ) -> Iterator[Finding]:
+        packages = [
+            program.modules[name]
+            for name in sorted(program.modules)
+            if program.modules[name].is_package
+            and program.modules[name].relpath.startswith("src/")
+        ]
+        if not packages:
+            return
+        attribute_refs: dict[str, set[str]] = {
+            name: _attribute_refs(program.modules[name])
+            for name in program.modules
+        }
+        for package in packages:
+            yield from self._check_package(program, package, attribute_refs)
+
+    def _check_package(
+        self,
+        program: ProgramModel,
+        package: ModuleInfo,
+        attribute_refs: dict[str, set[str]],
+    ) -> Iterator[Finding]:
+        subtree = package.name + "."
+        outside = [
+            info
+            for name, info in program.modules.items()
+            if name != package.name and not name.startswith(subtree)
+        ]
+        for name, line in _exports(package):
+            if self._referenced(program, package, name, outside, attribute_refs):
+                continue
+            yield package.parsed.finding(
+                _Anchor(line),
+                self.code,
+                f"public export '{name}' of {package.name} has no "
+                "cross-module references anywhere under src/, tools/, "
+                "tests/, benchmarks/ or examples/: prune it from the "
+                "package surface (or add the caller that was supposed "
+                "to exist)",
+                self.severity,
+            )
+
+    def _referenced(
+        self,
+        program: ProgramModel,
+        package: ModuleInfo,
+        name: str,
+        outside: list[ModuleInfo],
+        attribute_refs: dict[str, set[str]],
+    ) -> bool:
+        dotted = f"{package.name}.{name}"
+        is_submodule = dotted in program.modules
+        for info in outside:
+            for edge in info.edges:
+                if edge.target == package.name and (
+                    name in edge.names or "*" in edge.names
+                ):
+                    return True
+                if is_submodule and (
+                    edge.target == dotted
+                    or edge.target.startswith(dotted + ".")
+                ):
+                    return True
+            if dotted in attribute_refs[info.name]:
+                return True
+        return False
+
+
+class _Anchor:
+    """Line carrier for findings anchored at an export's source line."""
+
+    def __init__(self, lineno: int):
+        self.lineno = lineno
+        self.col_offset = 0

@@ -70,6 +70,7 @@ class ExitPricingParityRule(Rule):
     """DYN001: registered exit heads need pricing and parity coverage."""
 
     code = "DYN001"
+    context_files = (_PRICING_FILE, _TEST_FILE)
     title = "registered early-exit backbones are priced and parity-tested"
 
     def applies_to(self, relpath: str) -> bool:

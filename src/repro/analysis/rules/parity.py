@@ -105,6 +105,7 @@ class FastSlowParityRule(Rule):
     """PAR001: fast kernels need a slow counterpart and test coverage."""
 
     code = "PAR001"
+    context_files = (_TEST_FILE,)
     title = "fast-path kernels keep a slow-path oracle and an equivalence test"
 
     def applies_to(self, relpath: str) -> bool:

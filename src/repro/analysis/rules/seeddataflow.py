@@ -1,0 +1,102 @@
+"""SEED001: dataflow-tracked worker-RNG provenance.
+
+PAR002 is the fast pre-pass: it pattern-matches RNG constructors inside
+modules that visibly import ``multiprocessing``/``concurrent.futures``.
+SEED001 is the whole-program pass behind it, built on
+:mod:`repro.analysis.dataflow`: it tracks where generators *come from*,
+so an unseeded generator smuggled through an alias or a helper function
+in another module -- invisible to PAR002 by construction -- is still a
+finding in the module where it reaches parallel or serving code.
+
+Scope: a module is *worker-adjacent* when it imports a parallel
+execution primitive, imports ``repro.parallel`` (the campaign engine),
+or lives under ``src/repro/serving/`` (the serving simulators seed
+per-worker streams).  Within scope, any expression whose provenance is
+definitely :data:`~repro.analysis.dataflow.TAINTED` -- an unseeded
+generator, however indirectly constructed -- is reported.  UNKNOWN
+provenance stays silent: SEED001 only speaks when it can prove the
+entropy leak.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.dataflow import RngDataflow
+from repro.analysis.engine import Project
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, ProgramModel
+from repro.analysis.rules import ProjectRule, register
+
+#: external modules whose import marks a file as worker-adjacent.
+_PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
+
+#: internal package whose import marks a file as worker-adjacent.
+_CAMPAIGN_PACKAGE = "repro.parallel"
+
+#: path prefix always in scope (serving simulators spawn worker streams).
+_SERVING_PREFIX = "src/repro/serving/"
+
+
+def _worker_adjacent(info: ModuleInfo) -> bool:
+    """Whether SEED001 watches ``info`` (see module docstring)."""
+    if info.relpath.startswith(_SERVING_PREFIX):
+        return True
+    for edge in info.edges:
+        if edge.type_checking:
+            continue
+        if any(
+            edge.target == mod or edge.target.startswith(mod + ".")
+            for mod in _PARALLEL_MODULES
+        ):
+            return True
+        if edge.target == _CAMPAIGN_PACKAGE or edge.target.startswith(
+            _CAMPAIGN_PACKAGE + "."
+        ):
+            return True
+    return False
+
+
+@register
+class SeedDataflowRule(ProjectRule):
+    """SEED001: worker-reaching RNGs provably descend from spawn lineage."""
+
+    code = "SEED001"
+    title = "worker-adjacent RNGs must not carry OS-entropy provenance"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(("src/", "tools/"))
+
+    def check_program(
+        self, program: ProgramModel, project: Project
+    ) -> Iterator[Finding]:
+        in_scope = [
+            program.modules[name]
+            for name in sorted(program.modules)
+            if self.applies_to(program.modules[name].relpath)
+            and _worker_adjacent(program.modules[name])
+        ]
+        if not in_scope:
+            return
+        flow = RngDataflow(program)
+        flow.summarize()
+        for info in in_scope:
+            for site in flow.analyze(info):
+                yield info.parsed.finding(
+                    _Site(site.line, site.col),
+                    self.code,
+                    f"worker-adjacent module binds a tainted RNG: "
+                    f"{site.reason}; derive it from "
+                    "numpy.random.SeedSequence.spawn (e.g. "
+                    "repro.parallel.spawn_task_seeds) so shards replay "
+                    "identically for any --jobs value",
+                    self.severity,
+                )
+
+
+class _Site:
+    """Line/col carrier for finding construction at a dataflow site."""
+
+    def __init__(self, lineno: int, col_offset: int):
+        self.lineno = lineno
+        self.col_offset = col_offset

@@ -14,30 +14,19 @@ capabilities their :class:`~repro.baselines.base.BaselineCharacter`
 grants.
 """
 
-from repro.baselines.base import BaselineCharacter, BaselineCnnAccelerator
-from repro.baselines.cnvlutin import CNVLUTIN, cnvlutin
-from repro.baselines.eyeriss import EYERISS, eyeriss
-from repro.baselines.predict import (
-    PREDICT,
-    PREDICT_CNVLUTIN,
-    predict,
-    predict_cnvlutin,
-)
+from repro.baselines.base import BaselineCharacter
+from repro.baselines.cnvlutin import cnvlutin
+from repro.baselines.eyeriss import eyeriss
+from repro.baselines.predict import predict, predict_cnvlutin
 from repro.baselines.single_module import single_module
-from repro.baselines.snapea import SNAPEA, snapea
+from repro.baselines.snapea import snapea
 
 __all__ = [
     "BaselineCharacter",
-    "BaselineCnnAccelerator",
     "eyeriss",
     "cnvlutin",
     "snapea",
     "predict",
     "predict_cnvlutin",
     "single_module",
-    "EYERISS",
-    "CNVLUTIN",
-    "SNAPEA",
-    "PREDICT",
-    "PREDICT_CNVLUTIN",
 ]

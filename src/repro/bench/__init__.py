@@ -42,7 +42,7 @@ See ``docs/performance.md`` for how to run the timing harness,
 for the paper-figure mapping of every bench file.
 """
 
-from repro.bench.chaos import CHAOS_SCHEMA, chaos_cells, run_chaos_bench
+from repro.bench.chaos import run_chaos_bench
 from repro.bench.document import deterministic_view
 from repro.bench.dynamic import (
     DYNAMIC_SCHEMA,
@@ -50,46 +50,24 @@ from repro.bench.dynamic import (
     exit_thresholds,
     run_dynamic_bench,
 )
-from repro.bench.faults import FAULTS_SCHEMA, fault_matrix, run_fault_matrix
-from repro.bench.fleet import (
-    FLEET_SCHEMA,
-    fleet_scenarios,
-    run_fleet_bench,
-    serving_capacity_rps,
-)
-from repro.bench.harness import (
-    BENCH_SCHEMA,
-    discover_bench_files,
-    run_bench,
-    run_suite,
-)
+from repro.bench.faults import run_fault_matrix
+from repro.bench.fleet import run_fleet_bench
+from repro.bench.harness import run_bench
 from repro.bench.serving import SERVE_SCHEMA, run_serving_bench, serve_scenarios
-from repro.bench.suites import SUITES, BenchSuite, suite_names
+from repro.bench.suites import SUITES
 
 __all__ = [
-    "BENCH_SCHEMA",
-    "BenchSuite",
-    "CHAOS_SCHEMA",
     "DYNAMIC_SCHEMA",
-    "FAULTS_SCHEMA",
-    "FLEET_SCHEMA",
     "SERVE_SCHEMA",
     "SUITES",
-    "suite_names",
-    "chaos_cells",
     "deterministic_view",
-    "discover_bench_files",
     "dynamic_scenarios",
     "exit_thresholds",
-    "fault_matrix",
-    "fleet_scenarios",
     "run_bench",
     "run_chaos_bench",
     "run_dynamic_bench",
     "run_fault_matrix",
     "run_fleet_bench",
     "run_serving_bench",
-    "run_suite",
     "serve_scenarios",
-    "serving_capacity_rps",
 ]

@@ -16,7 +16,7 @@
 - **Static parity** -- the degeneration contract: at
   ``threshold == ALWAYS_LATE`` the dynamic executor must price every
   model bit-identically to the plain
-  :class:`~repro.serving.workers.BatchExecutor` (verdict
+  :class:`~repro.sim.batching.BatchExecutor` (verdict
   ``static_parity``), and raising the threshold must never shallow an
   input's exit (verdict ``threshold_monotone``, checked per input).
 - **Serving scenarios** -- the fleet tier under a nominal trace with
@@ -56,7 +56,7 @@ from repro.serving.batcher import BatchPolicy
 from repro.serving.fleet import AutoscalerPolicy, FleetConfig, FleetSimulator
 from repro.serving.loadgen import TraceConfig, generate_trace
 from repro.serving.quality import QualityPolicy
-from repro.serving.workers import BatchExecutor
+from repro.sim.batching import BatchExecutor
 from repro.sim.config import DuetConfig
 
 __all__ = [

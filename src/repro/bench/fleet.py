@@ -8,7 +8,7 @@
   the reference trace.  Everything else must beat this.
 - ``sharded_fleet``: the same trace against a capacity-planned fleet of
   shard groups (per-model splits chosen by the placement search
-  :func:`repro.serving.sharding.plan_for`) with dynamic batching and
+  :func:`repro.sim.sharding.plan_for`) with dynamic batching and
   SLO-class priority scheduling.  The headline verdict
   ``goodput_dominance`` requires its goodput to be at least the
   baseline's.
@@ -60,8 +60,8 @@ from repro.serving.fleet import (
     initial_fleet_size,
 )
 from repro.serving.loadgen import ClosedLoopConfig, TraceConfig, generate_trace
-from repro.serving.sharding import ShardedExecutor, plan_for
-from repro.serving.workers import BatchExecutor
+from repro.sim.sharding import ShardedExecutor, plan_for
+from repro.sim.batching import BatchExecutor
 from repro.sim.config import DuetConfig
 
 __all__ = [

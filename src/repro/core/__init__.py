@@ -38,49 +38,17 @@ from repro.core.approx import (
     ApproximateLinear,
     ApproximateLSTMCell,
 )
-from repro.core.cache import (
-    array_fingerprint,
-    cache_stats,
-    caches_enabled,
-    clear_caches,
-    im2col_cached,
-    set_cache_enabled,
-    switching_map_cached,
-    tune_threshold_cached,
-)
 from repro.core.distill import distill_linear, distill_conv2d, distill_lstm_cell, distill_gru_cell
 from repro.core.dual import (
     DualModuleConv2d,
     DualModuleGRUCell,
     DualModuleLinear,
     DualModuleLSTMCell,
-    DualModuleReport,
 )
 from repro.core.projection import TernaryRandomProjection
-from repro.core.stats import (
-    LayerSavings,
-    insensitive_fraction,
-    relu_insensitive_fraction,
-    saturation_insensitive_fraction,
-)
-from repro.core.switching import (
-    correct_omap_after_relu,
-    mix_outputs,
-    switching_map,
-)
-from repro.core.thresholds import (
-    ThresholdTuner,
-    allocate_layer_fractions,
-    suggest_guard_band,
-    tune_dualized_classifier,
-    tune_threshold_for_fraction,
-)
 
 __all__ = [
     "TernaryRandomProjection",
-    "switching_map",
-    "mix_outputs",
-    "correct_omap_after_relu",
     "ApproximateLinear",
     "ApproximateConv2d",
     "ApproximateLSTMCell",
@@ -93,22 +61,4 @@ __all__ = [
     "DualModuleConv2d",
     "DualModuleLSTMCell",
     "DualModuleGRUCell",
-    "DualModuleReport",
-    "ThresholdTuner",
-    "suggest_guard_band",
-    "tune_threshold_for_fraction",
-    "tune_dualized_classifier",
-    "allocate_layer_fractions",
-    "LayerSavings",
-    "insensitive_fraction",
-    "relu_insensitive_fraction",
-    "saturation_insensitive_fraction",
-    "array_fingerprint",
-    "im2col_cached",
-    "switching_map_cached",
-    "tune_threshold_cached",
-    "set_cache_enabled",
-    "caches_enabled",
-    "clear_caches",
-    "cache_stats",
 ]

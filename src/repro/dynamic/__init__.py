@@ -19,18 +19,11 @@ from repro.dynamic.costmodel import (
 )
 from repro.dynamic.decision import (
     ALWAYS_LATE,
-    ExitDecision,
     confidence,
     decide_exit,
     input_difficulty,
 )
-from repro.dynamic.executor import (
-    DynamicBatchExecutor,
-    DynamicBatchResult,
-    DynamicShardedBatchResult,
-    DynamicShardedExecutor,
-    decision_drop,
-)
+from repro.dynamic.executor import DynamicBatchExecutor
 from repro.dynamic.exits import (
     EXIT_REGISTRY,
     FINAL_EXIT,
@@ -48,17 +41,12 @@ __all__ = [
     "EXIT_REGISTRY",
     "FINAL_EXIT",
     "DynamicBatchExecutor",
-    "DynamicBatchResult",
-    "DynamicShardedBatchResult",
-    "DynamicShardedExecutor",
     "EarlyExitModel",
     "ExitCostModel",
-    "ExitDecision",
     "ExitPoint",
     "ExitPricing",
     "confidence",
     "decide_exit",
-    "decision_drop",
     "early_exit_model",
     "early_exit_variants",
     "estimated_accuracy_drop",

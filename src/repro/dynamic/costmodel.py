@@ -4,7 +4,7 @@ Every exit point of a registered early-exit variant gets two prices:
 
 - **Cycles/energy** -- the truncated spec (backbone prefix + head) is
   run through the existing Executor/Speculator pipeline models via a
-  :class:`~repro.serving.workers.BatchExecutor`, so exit costs use the
+  :class:`~repro.sim.batching.BatchExecutor`, so exit costs use the
   exact same simulation the serving tier bills with.  The final exit's
   truncated spec *is* the original backbone spec object, so full-depth
   costs degenerate bit-identically to the static model's (pinned by
@@ -95,7 +95,7 @@ def estimated_accuracy_drop(model_name: str, depth_fraction: float) -> float:
 class ExitCostModel:
     """Prices every exit of an early-exit variant on the simulator.
 
-    Composes a :class:`~repro.serving.workers.BatchExecutor` rather than
+    Composes a :class:`~repro.sim.batching.BatchExecutor` rather than
     re-deriving accelerator construction: the executor owns the
     config/sparsity/memoization conventions, so exit prices are
     bit-compatible with what the serving tier charges for the same
@@ -109,7 +109,7 @@ class ExitCostModel:
 
     def __init__(self, executor=None):
         if executor is None:
-            from repro.serving.workers import BatchExecutor
+            from repro.sim.batching import BatchExecutor
 
             executor = BatchExecutor()
         self.executor = executor

@@ -1,7 +1,7 @@
 """Batch execution with per-input early exits.
 
 :class:`DynamicBatchExecutor` extends the serving tier's
-:class:`~repro.serving.workers.BatchExecutor` with the per-input axis:
+:class:`~repro.sim.batching.BatchExecutor` with the per-input axis:
 each sample in a batch gets a seeded exit decision
 (:func:`~repro.dynamic.decision.decide_exit`) and is simulated on the
 truncated spec its exit implies.  Models without a registered early-exit
@@ -11,7 +11,7 @@ so the static configuration is bit-identical to a plain
 ``BatchExecutor`` (reports, service cycles, and cache contents).
 
 :class:`DynamicShardedExecutor` does the same over the fleet tier's
-:class:`~repro.serving.sharding.ShardedExecutor`, with one documented
+:class:`~repro.sim.sharding.ShardedExecutor`, with one documented
 restriction: models carrying a shard plan always serve full depth (a
 pipeline/tensor split partitions the *whole* backbone across chips;
 re-planning per input would change the placement mid-batch).  Early
@@ -31,8 +31,8 @@ from repro.dynamic.exits import (
     truncated_spec,
 )
 from repro.models.layer_spec import ModelSpec
-from repro.serving.sharding import ShardedBatchResult, ShardedExecutor
-from repro.serving.workers import BatchExecutor, BatchResult
+from repro.sim.sharding import ShardedBatchResult, ShardedExecutor
+from repro.sim.batching import BatchExecutor, BatchResult
 
 __all__ = [
     "DynamicBatchExecutor",
@@ -71,7 +71,7 @@ def decision_drop(model_name: str, decision: ExitDecision | None) -> float:
 class _ExitAware:
     """Shared exit-decision machinery of the dynamic executors.
 
-    Mixed into :class:`~repro.serving.workers.BatchExecutor` subclasses;
+    Mixed into :class:`~repro.sim.batching.BatchExecutor` subclasses;
     relies on their ``_resolve`` and adds the variant cache + the seeded
     per-sample decision.
     """
@@ -163,7 +163,7 @@ class DynamicBatchExecutor(_ExitAware, BatchExecutor):
 
 
 class DynamicShardedExecutor(_ExitAware, ShardedExecutor):
-    """A :class:`~repro.serving.sharding.ShardedExecutor` that serves
+    """A :class:`~repro.sim.sharding.ShardedExecutor` that serves
     single-chip models at early exits.
 
     Models with a shard plan always run full depth (their split

@@ -14,12 +14,6 @@ and live in the benchmarks, where their scale is pinned.
 """
 
 from repro.experiments.architecture import (
-    AreaResult,
-    BreakdownResult,
-    DseResult,
-    OverallResult,
-    SotaResult,
-    StageResult,
     area_table,
     energy_breakdowns,
     mac_utilization,
@@ -39,10 +33,4 @@ __all__ = [
     "energy_breakdowns",
     "speculator_size_dse",
     "area_table",
-    "OverallResult",
-    "SotaResult",
-    "StageResult",
-    "BreakdownResult",
-    "DseResult",
-    "AreaResult",
 ]

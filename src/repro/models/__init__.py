@@ -13,7 +13,6 @@ Two complementary views of the paper's benchmark networks:
   dual-module networks (distill + threshold-tune every layer).
 """
 
-from repro.models.attention import AttentionProxySeq2Seq, DotProductAttention
 from repro.models.layer_spec import ConvSpec, FCSpec, ModelSpec, RNNSpec
 from repro.models.registry import MODEL_REGISTRY, get_model_spec
 from repro.models.zoo import (
@@ -27,8 +26,6 @@ from repro.models.zoo import (
 )
 
 __all__ = [
-    "AttentionProxySeq2Seq",
-    "DotProductAttention",
     "ConvSpec",
     "FCSpec",
     "RNNSpec",

@@ -23,13 +23,6 @@ substrate small, fast, and easy to property-test.
 """
 
 from repro.nn import functional
-from repro.nn.data import (
-    GaussianMixtureImages,
-    SyntheticTranslationTask,
-    ZipfTokenStream,
-    iterate_minibatches,
-)
-from repro.nn.init import kaiming_uniform, uniform_fan_in, xavier_uniform
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -44,15 +37,10 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.losses import CrossEntropyLoss, MSELoss, perplexity
-from repro.nn.module import Module, Parameter
-from repro.nn.optim import SGD, Adam
 from repro.nn.recurrent import GRU, LSTM, GRUCell, LSTMCell
 
 __all__ = [
     "functional",
-    "Parameter",
-    "Module",
     "Linear",
     "Conv2d",
     "MaxPool2d",
@@ -69,16 +57,4 @@ __all__ = [
     "GRUCell",
     "LSTM",
     "GRU",
-    "SGD",
-    "Adam",
-    "MSELoss",
-    "CrossEntropyLoss",
-    "perplexity",
-    "kaiming_uniform",
-    "xavier_uniform",
-    "uniform_fan_in",
-    "GaussianMixtureImages",
-    "ZipfTokenStream",
-    "SyntheticTranslationTask",
-    "iterate_minibatches",
 ]

@@ -41,70 +41,35 @@ from repro.reliability.faults import (
     get_campaign,
 )
 from repro.reliability.guards import (
-    AuditResult,
     ConsistencyAuditor,
     MapGuard,
     WeightMemoryScrubber,
     map_checksum,
     row_checksums,
 )
-from repro.reliability.report import (
-    DegradationEvent,
-    LayerReliability,
-    ReliabilityReport,
-)
-from repro.reliability.runner import (
-    CampaignReport,
-    FunctionalProbe,
-    run_fault_campaign,
-    run_functional_probe,
-)
-from repro.reliability.workerfaults import (
-    FATE_CRASH,
-    FATE_HANG,
-    FATE_OK,
-    FATE_STRAGGLE,
-    WorkerFate,
-    WorkerFaultModel,
-    WorkerFaultStream,
-    spawn_worker_streams,
-)
+from repro.reliability.runner import run_fault_campaign, run_functional_probe
 
 __all__ = [
     "BiasedSpeculator",
     "CAMPAIGNS",
-    "CampaignReport",
     "ConsistencyAuditor",
-    "AuditResult",
     "DEGRADATION_LADDER",
     "DegradationBudget",
-    "DegradationEvent",
     "DegradationPolicy",
     "DramTransferFaults",
-    "FATE_CRASH",
-    "FATE_HANG",
-    "FATE_OK",
-    "FATE_STRAGGLE",
     "FaultCampaign",
     "FaultInjector",
-    "FunctionalProbe",
     "GuardSettings",
     "IMapBitFlips",
-    "LayerReliability",
     "MapGuard",
     "OMapBitFlips",
     "ReliabilityContext",
-    "ReliabilityReport",
     "StuckAtRows",
     "WeightCorruption",
     "WeightMemoryScrubber",
-    "WorkerFate",
-    "WorkerFaultModel",
-    "WorkerFaultStream",
     "get_campaign",
     "map_checksum",
     "row_checksums",
     "run_fault_campaign",
     "run_functional_probe",
-    "spawn_worker_streams",
 ]

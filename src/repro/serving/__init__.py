@@ -18,7 +18,7 @@ Entry points:
   hedging, circuit breakers, and health-checked respawn
   (:mod:`repro.serving.faulttol`).
 - :func:`simulate_fleet` / :class:`FleetSimulator` -- the fleet tier:
-  N sharded servers (:mod:`repro.serving.sharding`) behind a router
+  N sharded servers (:mod:`repro.sim.sharding`) behind a router
   with per-model SLO classes, priority scheduling, occupancy-driven
   autoscaling, and closed-loop clients (:mod:`repro.serving.fleet`).
 - :func:`generate_trace` -- seeded Poisson / bursty arrival traces.
@@ -39,21 +39,17 @@ from repro.serving.batcher import BatchPolicy, DynamicBatcher
 from repro.serving.faulttol import (
     POLICY_LADDER,
     BreakerPolicy,
-    ChaosResult,
-    ChaosSummary,
     FaultTolerancePolicy,
     FaultTolerantSimulator,
     HealthPolicy,
     HedgePolicy,
     RetryPolicy,
     policy_named,
-    simulate_chaos,
 )
 from repro.serving.fleet import (
     DEFAULT_SLO_CLASSES,
     AutoscalerPolicy,
     FleetConfig,
-    FleetResult,
     FleetSimulator,
     PriorityBatcher,
     SloClass,
@@ -67,12 +63,9 @@ from repro.serving.loadgen import (
     generate_trace,
 )
 from repro.serving.overload import SERVING_LADDER, OverloadPolicy
-from repro.serving.quality import QualityPolicy, decision_record_fields
+from repro.serving.quality import QualityPolicy
 from repro.serving.request import (
     COMPLETED,
-    FAIL_ATTEMPTS_EXHAUSTED,
-    FAIL_DEADLINE,
-    FAILED,
     REJECT_QUEUE_FULL,
     REJECT_RATE_LIMITED,
     REJECTED,
@@ -81,22 +74,19 @@ from repro.serving.request import (
 )
 from repro.serving.server import (
     ServerConfig,
-    ServingResult,
     ServingSimulator,
     simulate_serving,
 )
-from repro.serving.sharding import (
-    SPLIT_KINDS,
+from repro.sim.sharding import (
     GlbPartition,
     ShardPlan,
-    ShardedBatchResult,
     ShardedExecutor,
     glb_partition,
     partition_layers,
     plan_for,
 )
-from repro.serving.slo import SloSummary, percentile, summarize
-from repro.serving.workers import BatchExecutor, BatchResult, ServiceModel, WorkerPool
+from repro.serving.slo import percentile, summarize
+from repro.sim.batching import BatchExecutor, BatchResult, WorkerPool
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -108,18 +98,12 @@ __all__ = [
     "BatchResult",
     "BreakerPolicy",
     "COMPLETED",
-    "ChaosResult",
-    "ChaosSummary",
     "ClosedLoopConfig",
     "DEFAULT_SLO_CLASSES",
     "DynamicBatcher",
-    "FAILED",
-    "FAIL_ATTEMPTS_EXHAUSTED",
-    "FAIL_DEADLINE",
     "FaultTolerancePolicy",
     "FaultTolerantSimulator",
     "FleetConfig",
-    "FleetResult",
     "FleetSimulator",
     "GlbPartition",
     "HealthPolicy",
@@ -135,20 +119,14 @@ __all__ = [
     "RequestRecord",
     "RetryPolicy",
     "SERVING_LADDER",
-    "SPLIT_KINDS",
     "ServerConfig",
-    "ServiceModel",
-    "ServingResult",
     "ServingSimulator",
     "ShardPlan",
-    "ShardedBatchResult",
     "ShardedExecutor",
     "SloClass",
-    "SloSummary",
     "TokenBucket",
     "TraceConfig",
     "WorkerPool",
-    "decision_record_fields",
     "generate_trace",
     "glb_partition",
     "initial_fleet_size",
@@ -156,7 +134,6 @@ __all__ = [
     "percentile",
     "plan_for",
     "policy_named",
-    "simulate_chaos",
     "simulate_fleet",
     "simulate_serving",
     "summarize",

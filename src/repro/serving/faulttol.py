@@ -79,7 +79,7 @@ from repro.serving.request import (
 )
 from repro.serving.server import ServerConfig
 from repro.serving.slo import percentile
-from repro.serving.workers import BatchExecutor
+from repro.sim.batching import BatchExecutor
 
 __all__ = [
     "POLICY_LADDER",
@@ -1053,7 +1053,7 @@ class FaultTolerantSimulator:
             dispatch_cycle=attempt.dispatch_cycle,
             completion_cycle=now,
             attempts=tracker.attempts,
-            hedged=attempt.is_hedge,
+            hedged=tracker.hedged,
             handed_back=tracker.handed_back,
             **decision_record_fields(
                 tracker.request.model,
@@ -1070,6 +1070,7 @@ class FaultTolerantSimulator:
             reject_reason=reason,
             completion_cycle=now,  # when the client stopped waiting
             attempts=tracker.attempts,
+            hedged=tracker.hedged,
             handed_back=tracker.handed_back,
         )
 

@@ -6,9 +6,9 @@ single-queue simulator (:mod:`repro.serving.server`):
 
 - **Servers are shard groups.**  Every server is one replica of the
   model placement: a group of simulated chips joined by a
-  :class:`~repro.serving.sharding.ShardPlan` per model (pipeline or
+  :class:`~repro.sim.sharding.ShardPlan` per model (pipeline or
   tensor split, GLB co-location), priced by one shared
-  :class:`~repro.serving.sharding.ShardedExecutor` so every replica's
+  :class:`~repro.sim.sharding.ShardedExecutor` so every replica's
   cost model -- and its memoized per-sample reports -- agree.
 - **The router schedules by SLO class.**  Each model maps to an
   :class:`SloClass` (a latency target and a priority, the
@@ -50,7 +50,7 @@ from repro.serving.loadgen import ClosedLoopConfig, TraceConfig, generate_trace
 from repro.serving.overload import OverloadPolicy
 from repro.serving.quality import QualityPolicy, decision_record_fields
 from repro.serving.request import COMPLETED, REJECTED, Request, RequestRecord
-from repro.serving.sharding import ShardedExecutor
+from repro.sim.sharding import ShardedExecutor
 from repro.serving.slo import SloSummary, percentile, summarize
 from repro.sim.config import DuetConfig
 
@@ -279,10 +279,10 @@ class FleetConfig:
         slo_classes: the service classes (distinct names).
         model_classes: model name -> SLO-class name; unmapped models
             fall into the *last* (lowest-priority) class.
-        plans: model name -> :class:`~repro.serving.sharding.ShardPlan`
+        plans: model name -> :class:`~repro.sim.sharding.ShardPlan`
             applied on every server; unmapped models run single-chip.
         colocate: partition each chip's GLB across the mapped models
-            (:func:`~repro.serving.sharding.glb_partition`).
+            (:func:`~repro.sim.sharding.glb_partition`).
         batch: the router's dynamic-batching policy.
         admission: the router's admission knobs (queue bound, rate
             limit).

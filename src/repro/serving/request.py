@@ -95,7 +95,10 @@ class RequestRecord:
         attempts: dispatch attempts the fault-tolerant simulator made
             (0 under the plain simulator, which needs exactly one and
             does not track them).
-        hedged: True when the winning attempt was a hedge re-dispatch.
+        hedged: True when any dispatch for this request was a hedge
+            re-dispatch (whether or not the hedge won -- hedge dispatches
+            count in ``attempts``, so accounting needs this even when a
+            plain retry ultimately completed or the request failed).
         handed_back: dispatches a worker eviction handed back to the
             queue.  Each hand-back refunds the retry budget (the loss
             was the server's fault) but still counts in ``attempts``,

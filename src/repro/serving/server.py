@@ -13,7 +13,7 @@ three-event design over integer simulated cycles:
 
 After every event the dispatcher drains: while a worker is idle and the
 batcher has a dispatchable batch, the batch is priced by the
-:class:`~repro.serving.workers.BatchExecutor` at the overload policy's
+:class:`~repro.sim.batching.BatchExecutor` at the overload policy's
 current rung and its completion is scheduled.  When workers are idle but
 no batch is dispatchable yet, a flush event is scheduled for the earliest
 max-wait deadline, so the loop never busy-waits and never misses one.
@@ -37,7 +37,7 @@ from repro.serving.overload import OverloadPolicy
 from repro.serving.quality import QualityPolicy, decision_record_fields
 from repro.serving.request import COMPLETED, REJECTED, Request, RequestRecord
 from repro.serving.slo import SloSummary, summarize
-from repro.serving.workers import BatchExecutor, WorkerPool
+from repro.sim.batching import BatchExecutor, WorkerPool
 from repro.sim.config import DuetConfig
 
 __all__ = ["ServerConfig", "ServingResult", "ServingSimulator", "simulate_serving"]

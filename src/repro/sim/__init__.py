@@ -25,39 +25,11 @@ Cycle-level (tile-granular) simulation of the dual-module architecture:
 """
 
 from repro.sim.accelerator import DuetAccelerator
-from repro.sim.area import AreaBreakdown, AreaModel
-from repro.sim.config import STAGES, DuetConfig, stage_config
-from repro.sim.dram import Dram, TransferRetryPolicy
-from repro.sim.energy import EnergyBreakdown, EnergyModel
-from repro.sim.event import EventSimulator, simulate_cnn_events
-from repro.sim.executor import ExecutorModel
-from repro.sim.functional import FunctionalExecutorArray
-from repro.sim.mapping import ReorderUnit, adaptive_schedule, naive_schedule
-from repro.sim.pipeline import CnnPipeline, RnnPipeline
-from repro.sim.report import LayerReport, ModelReport
-from repro.sim.speculator import SpeculatorModel
+from repro.sim.area import AreaModel
+from repro.sim.config import DuetConfig
 
 __all__ = [
     "DuetAccelerator",
     "DuetConfig",
-    "stage_config",
-    "STAGES",
-    "EnergyModel",
-    "EnergyBreakdown",
     "AreaModel",
-    "AreaBreakdown",
-    "ExecutorModel",
-    "FunctionalExecutorArray",
-    "EventSimulator",
-    "simulate_cnn_events",
-    "SpeculatorModel",
-    "CnnPipeline",
-    "RnnPipeline",
-    "Dram",
-    "TransferRetryPolicy",
-    "ModelReport",
-    "LayerReport",
-    "ReorderUnit",
-    "naive_schedule",
-    "adaptive_schedule",
 ]

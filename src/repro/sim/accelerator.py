@@ -106,7 +106,7 @@ class DuetAccelerator:
         the latency/energy estimates.
 
         A thin wrapper over the serving tier's
-        :class:`~repro.serving.workers.BatchExecutor`, which forwards
+        :class:`~repro.sim.batching.BatchExecutor`, which forwards
         *every* accelerator field -- including ``reliability``, which a
         previous hand-rolled reconstruction silently dropped, detaching
         active fault campaigns and guards from batched runs.  An attached
@@ -116,7 +116,7 @@ class DuetAccelerator:
         Returns:
             One :class:`ModelReport` per sample.
         """
-        from repro.serving.workers import BatchExecutor  # avoid import cycle
+        from repro.sim.batching import BatchExecutor  # avoid import cycle
 
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")

@@ -14,7 +14,7 @@ guards must treat the affected data as untrusted (fail-safe dense
 execution) so that a flaky channel can cost cycles and accuracy but never
 deliver silently-corrupted values.
 
-The sharding tier (:mod:`repro.serving.sharding`) additionally prices
+The sharding tier (:mod:`repro.sim.sharding`) additionally prices
 *multi-chip* DRAM access: tensor-split shards sit behind one physical
 memory channel, so each chip's slice of the traffic streams at a
 ``1/chips`` share of the bandwidth (:func:`shared_channel_cycles`).

@@ -11,7 +11,7 @@ PE-side receivers were activated vs. deactivated -- the quantity the
 energy model charges.
 
 The module also prices the *inter-chip* link the sharding tier
-(:mod:`repro.serving.sharding`) uses to move boundary activations
+(:mod:`repro.sim.sharding`) uses to move boundary activations
 between pipeline stages and to all-reduce partial sums between tensor
 shards: a shared serial link at a configured byte-per-cycle bandwidth,
 with contention modelled as fair time-slicing among the chips driving

@@ -33,7 +33,7 @@ fraction.
 
 Everything here is an analytic layer over the per-sample
 :class:`~repro.sim.report.ModelReport` the
-:class:`~repro.serving.workers.BatchExecutor` already memoizes, so
+:class:`~repro.sim.batching.BatchExecutor` already memoizes, so
 sharded pricing inherits the simulator's determinism: the same plan,
 model, stage, and workload seeds always price identically.
 """
@@ -44,7 +44,7 @@ import math
 from dataclasses import dataclass
 
 from repro.models.layer_spec import BYTES_PER_ELEMENT, ConvSpec, FCSpec, RNNSpec
-from repro.serving.workers import BatchExecutor, BatchResult
+from repro.sim.batching import BatchExecutor, BatchResult
 from repro.sim.dram import shared_channel_cycles
 from repro.sim.noc import interchip_transfer_cycles
 
@@ -245,7 +245,7 @@ def glb_partition(models, resolve) -> GlbPartition:
 
 
 class ShardedExecutor(BatchExecutor):
-    """A :class:`~repro.serving.workers.BatchExecutor` that prices
+    """A :class:`~repro.sim.batching.BatchExecutor` that prices
     batches against per-model shard plans and a GLB co-location map.
 
     Args:

@@ -1,0 +1,7 @@
+"""References every promised export."""
+
+from repro.util import unused, used
+
+
+def run():
+    return used() + unused()

@@ -1,0 +1,6 @@
+def used():
+    return 1
+
+
+def unused():
+    return 2

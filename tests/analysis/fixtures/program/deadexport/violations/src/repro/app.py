@@ -1,0 +1,7 @@
+"""References only 'used' -- 'unused' is dead surface."""
+
+from repro.util import used
+
+
+def run():
+    return used()

@@ -1,0 +1,5 @@
+"""Package surface promising one export nobody references."""
+
+from repro.util.impl import unused, used
+
+__all__ = ["used", "unused"]

@@ -1,0 +1,5 @@
+"""Layer-1 module importing nothing above itself."""
+
+
+def run():
+    return 1

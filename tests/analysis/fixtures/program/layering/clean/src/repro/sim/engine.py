@@ -1,0 +1,13 @@
+"""Downward import only: layer-4 sim using layer-1 core (legal).
+
+The lazy function-scope import of a sibling is the sanctioned way to
+break a load-time cycle -- it must NOT be reported as one.
+"""
+
+from repro.core.impl import run
+
+
+def tick():
+    from repro.sim import metrics
+
+    return run() + metrics.count()

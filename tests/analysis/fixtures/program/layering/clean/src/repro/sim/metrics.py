@@ -1,0 +1,8 @@
+"""Sibling that imports engine at module scope (no cycle: engine's
+reverse edge is function-scope)."""
+
+from repro.sim import engine
+
+
+def count():
+    return 1 if engine else 0

@@ -1,0 +1,1 @@
+"""LAY001 fixture: layer-1 package."""

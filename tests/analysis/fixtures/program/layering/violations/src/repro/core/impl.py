@@ -1,0 +1,7 @@
+"""Upward import: layer-1 core reaching into layer-4 sim."""
+
+from repro.sim.engine import tick
+
+
+def run():
+    return tick()

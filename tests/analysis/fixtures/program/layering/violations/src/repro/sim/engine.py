@@ -1,0 +1,7 @@
+"""Half of a module-scope import cycle."""
+
+from repro.sim import metrics
+
+
+def tick():
+    return metrics.count()

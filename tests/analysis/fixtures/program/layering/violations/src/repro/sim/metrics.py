@@ -1,0 +1,7 @@
+"""Other half of the module-scope import cycle."""
+
+from repro.sim import engine
+
+
+def count():
+    return 1 if engine else 0

@@ -1,0 +1,8 @@
+"""An executor variant with a pricing path and a parity test."""
+
+from repro.sim.pipeline import price
+
+
+class TileExecutor:
+    def execute(self, batch):
+        return price(len(batch))

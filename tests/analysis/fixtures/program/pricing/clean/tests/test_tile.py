@@ -1,0 +1,7 @@
+"""Parity anchor naming TileExecutor."""
+
+from repro.gadgets import TileExecutor
+
+
+def test_tile_executor_prices():
+    assert TileExecutor().execute([1]) == 2

@@ -1,0 +1,1 @@
+"""PRC001 fixture serving tier."""

@@ -1,0 +1,7 @@
+"""Serving module reaching an unpriced, untested executor variant."""
+
+from repro.gadgets import TileExecutor
+
+
+def serve(batch):
+    return TileExecutor().execute(batch)

@@ -1,0 +1,1 @@
+"""SEED001 fixture package."""

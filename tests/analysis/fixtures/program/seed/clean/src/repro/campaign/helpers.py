@@ -1,0 +1,7 @@
+"""RNG helper deriving generators from caller-provided spawn children."""
+
+import numpy as np
+
+
+def fresh(seed_seq):
+    return np.random.default_rng(seed_seq)

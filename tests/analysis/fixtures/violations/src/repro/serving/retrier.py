@@ -1,4 +1,5 @@
 """REL003 bait: unbounded retry loop, wall-clock sleep, unseeded jitter."""
+# duetlint: disable-file=SEED001  (this fixture demonstrates its own rule only)
 
 import time
 

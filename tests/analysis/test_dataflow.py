@@ -1,0 +1,190 @@
+"""Units for the RNG-provenance lattice behind SEED001.
+
+Each test assembles a miniature program tree and asks ``RngDataflow``
+for the definite-taint sites of one module.  The contract under test:
+OS-entropy generators are reported however many aliases or helper
+modules they flow through; ``SeedSequence.spawn`` lineage is clean; and
+anything the lattice cannot judge stays *silent* (UNKNOWN never turns
+into a finding).
+"""
+
+from pathlib import Path
+
+from repro.analysis.dataflow import RngDataflow, resolve_dotted
+from repro.analysis.engine import Project
+from repro.analysis.project import ProgramModel
+
+
+def taint_sites(root: Path, files: dict[str, str], target: str):
+    for relpath, body in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+    program = ProgramModel.build(Project(root))
+    flow = RngDataflow(program)
+    flow.summarize()
+    return flow.analyze(program.by_path[target])
+
+
+class TestDirectTaint:
+    def test_unseeded_default_rng_is_a_site(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "rng = np.random.default_rng()\n"
+            ),
+        }, "src/repro/mod.py")
+        assert [(s.line, s.col) for s in sites] == [(2, 6)]
+        assert "unseeded numpy.random.default_rng()" in sites[0].reason
+
+    def test_taint_survives_local_aliasing_and_reseeding(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "def run():\n"
+                "    maker = np.random.default_rng\n"
+                "    bitgen = np.random.PCG64()\n"
+                "    return np.random.Generator(bitgen)\n"
+            ),
+        }, "src/repro/mod.py")
+        # both the unseeded bit generator and the generator wrapping it
+        assert [s.line for s in sites] == [4, 5]
+
+    def test_integer_seeded_generator_is_not_definite_taint(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "rng = np.random.default_rng(1234)\n"
+            ),
+        }, "src/repro/mod.py")
+        assert sites == []
+
+
+class TestCrossModuleTaint:
+    def test_aliased_helper_call_carries_the_origin_trail(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/helpers.py": (
+                "import numpy as np\n"
+                "def fresh():\n"
+                "    return np.random.default_rng()\n"
+            ),
+            "src/repro/runner.py": (
+                "from repro.helpers import fresh as make_rng\n"
+                "rng = make_rng()\n"
+            ),
+        }, "src/repro/runner.py")
+        assert [s.line for s in sites] == [2]
+        assert "unseeded numpy.random.default_rng()" in sites[0].reason
+        assert "via repro.helpers.fresh" in sites[0].reason
+
+    def test_two_hop_helper_chain_still_resolves(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/a.py": (
+                "import numpy as np\n"
+                "def make():\n"
+                "    return np.random.default_rng()\n"
+            ),
+            "src/repro/b.py": (
+                "from repro.a import make\n"
+                "def forward():\n"
+                "    return make()\n"
+            ),
+            "src/repro/c.py": (
+                "from repro.b import forward\n"
+                "rng = forward()\n"
+            ),
+        }, "src/repro/c.py")
+        assert [s.line for s in sites] == [2]
+
+    def test_param_passthrough_helper_inherits_the_argument(self, tmp_path):
+        files = {
+            "src/repro/helpers.py": (
+                "import numpy as np\n"
+                "def seeded(seed_seq):\n"
+                "    return np.random.default_rng(seed_seq)\n"
+            ),
+            "src/repro/runner.py": (
+                "import numpy as np\n"
+                "from repro.helpers import seeded\n"
+                "children = np.random.SeedSequence(0).spawn(4)\n"
+                "rngs = [seeded(c) for c in children]\n"
+            ),
+        }
+        assert taint_sites(tmp_path, files, "src/repro/runner.py") == []
+
+
+class TestSpawnLineage:
+    def test_spawn_children_and_derived_generators_are_clean(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "children = np.random.SeedSequence(7).spawn(8)\n"
+                "rngs = [np.random.default_rng(c) for c in children]\n"
+                "first = np.random.default_rng(children[0])\n"
+            ),
+        }, "src/repro/mod.py")
+        assert sites == []
+
+    def test_spawn_helper_contract_is_trusted(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "from repro.parallel import spawn_task_seeds\n"
+                "rngs = [np.random.default_rng(s)"
+                " for s in spawn_task_seeds(0, 4)]\n"
+            ),
+        }, "src/repro/mod.py")
+        assert sites == []
+
+
+class TestUnknownStaysSilent:
+    def test_parameter_seeded_generator_inside_a_function(self, tmp_path):
+        # seed is a bare parameter: could be anything, so no finding
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "def make(seed):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+        }, "src/repro/mod.py")
+        assert sites == []
+
+    def test_mixed_branch_joins_to_unknown(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "def make(flag, seed_seq):\n"
+                "    if flag:\n"
+                "        rng = np.random.default_rng(seed_seq)\n"
+                "    else:\n"
+                "        rng = object()\n"
+                "    return rng\n"
+            ),
+        }, "src/repro/mod.py")
+        assert sites == []
+
+    def test_external_call_results_are_unknown(self, tmp_path):
+        sites = taint_sites(tmp_path, {
+            "src/repro/mod.py": (
+                "import numpy as np\n"
+                "import config\n"
+                "rng = np.random.default_rng(config.seed())\n"
+            ),
+        }, "src/repro/mod.py")
+        assert sites == []
+
+
+class TestResolveDotted:
+    def test_resolves_through_package_reexport(self, tmp_path):
+        for relpath, body in {
+            "src/repro/pkg/__init__.py": "from repro.pkg.impl import fresh\n",
+            "src/repro/pkg/impl.py": "def fresh():\n    return 1\n",
+        }.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(body)
+        program = ProgramModel.build(Project(tmp_path))
+        assert resolve_dotted(program, "repro.pkg.fresh") == (
+            "repro.pkg.impl", "fresh",
+        )
+        assert resolve_dotted(program, "numpy.random.default_rng") is None

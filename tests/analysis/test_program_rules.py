@@ -1,0 +1,113 @@
+"""Whole-program rule coverage against the ``fixtures/program/`` trees.
+
+Each rule gets a ``violations/`` tree (the exact findings it must emit)
+and a mirrored ``clean/`` tree (the compliant idiom, zero findings).
+The SEED001 violation tree doubles as the aliasing acceptance case: its
+worker module obtains the unseeded generator through a cross-module
+factory alias, which the syntactic PAR002 pre-pass provably cannot see.
+"""
+
+from pathlib import Path
+
+from repro.analysis.engine import run_lint
+from repro.analysis.rules import get_rules
+
+PROGRAM_FIXTURES = Path(__file__).parent / "fixtures" / "program"
+
+
+def _lint(tree: str, code: str):
+    return run_lint(PROGRAM_FIXTURES / tree, rules=get_rules([code]))
+
+
+class TestSeedDataflow:
+    def test_aliased_unseeded_generator_in_worker_module(self):
+        result = _lint("seed/violations", "SEED001")
+        assert [(f.path, f.line, f.rule) for f in result.findings] == [
+            ("src/repro/campaign/runner.py", 13, "SEED001")
+        ]
+        message = result.findings[0].message
+        assert "worker-adjacent" in message
+        assert "unseeded numpy.random.default_rng" in message
+        # The origin trail names the cross-module factory the alias hides.
+        assert "repro.campaign.helpers.fresh" in message
+
+    def test_par002_provably_misses_the_aliased_fixture(self):
+        """The acceptance criterion for SEED001's existence: the fast
+        syntactic pre-pass passes this tree, the dataflow rule does not."""
+        result = _lint("seed/violations", "PAR002")
+        assert result.findings == []
+
+    def test_spawn_derived_generators_are_clean(self):
+        assert _lint("seed/clean", "SEED001").findings == []
+
+
+class TestLayering:
+    def test_upward_import_and_load_time_cycle(self):
+        result = _lint("layering/violations", "LAY001")
+        found = sorted((f.path, f.line) for f in result.findings)
+        assert found == [
+            ("src/repro/core/impl.py", 3),
+            ("src/repro/sim/engine.py", 1),
+        ]
+        by_path = {f.path: f.message for f in result.findings}
+        assert (
+            "upward import: repro.core -> repro.sim"
+            in by_path["src/repro/core/impl.py"]
+        )
+        assert (
+            "load-time import cycle" in by_path["src/repro/sim/engine.py"]
+        )
+        assert "repro.sim.engine" in by_path["src/repro/sim/engine.py"]
+        assert "repro.sim.metrics" in by_path["src/repro/sim/engine.py"]
+
+    def test_lazy_import_breaks_the_cycle_and_downward_edges_pass(self):
+        # clean/sim/engine.py imports metrics inside a function: that is
+        # the sanctioned cycle-breaker and must not be reported.
+        assert _lint("layering/clean", "LAY001").findings == []
+
+    def test_fixture_trees_skip_real_tree_only_checks(self):
+        # Neither fixture tree carries src/repro/__init__.py, so the
+        # doc-sync and unlisted-package checks must stay silent: every
+        # reported finding is a direction or cycle violation.
+        result = _lint("layering/violations", "LAY001")
+        for finding in result.findings:
+            assert "layering table" not in finding.message
+            assert "not in the layering contract" not in finding.message
+
+
+class TestPricing:
+    def test_unpriced_untested_executor_variant(self):
+        result = _lint("pricing/violations", "PRC001")
+        assert [(f.path, f.line) for f in result.findings] == [
+            ("src/repro/gadgets.py", 4),
+            ("src/repro/gadgets.py", 4),
+        ]
+        messages = sorted(f.message for f in result.findings)
+        assert all("TileExecutor" in m for m in messages)
+        assert any("cost model" in m or "pricing" in m for m in messages)
+        assert any("test" in m for m in messages)
+
+    def test_priced_and_tested_variant_is_clean(self):
+        assert _lint("pricing/clean", "PRC001").findings == []
+
+
+class TestDeadExports:
+    def test_unreferenced_public_export_flagged_by_name(self):
+        result = _lint("deadexport/violations", "DEAD001")
+        assert [(f.path, f.line) for f in result.findings] == [
+            ("src/repro/util/__init__.py", 5)
+        ]
+        message = result.findings[0].message
+        assert "'unused'" in message
+        assert "'used'" not in message
+
+    def test_fully_consumed_exports_are_clean(self):
+        assert _lint("deadexport/clean", "DEAD001").findings == []
+
+
+class TestFixtureTreesAgainstFullRuleSet:
+    def test_clean_trees_are_clean_under_every_rule(self):
+        for tree in ("seed/clean", "layering/clean", "pricing/clean",
+                     "deadexport/clean"):
+            result = run_lint(PROGRAM_FIXTURES / tree)
+            assert result.findings == [], (tree, result.findings)

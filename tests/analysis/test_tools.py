@@ -66,6 +66,20 @@ class TestLintChanged:
             "tools/check_links.py",
         ]
 
+    def test_with_dependents_adds_the_reverse_import_closure(self):
+        lint_changed = _load("lint_changed")
+        widened = lint_changed.with_dependents(
+            ["src/repro/analysis/findings.py", "docs/linting.md"]
+        )
+        # every analysis consumer of findings.py is pulled in ...
+        assert "src/repro/analysis/engine.py" in widened
+        assert "src/repro/analysis/cli.py" in widened
+        # ... inputs outside the program pass through untouched ...
+        assert "docs/linting.md" in widened
+        # ... and unrelated leaf packages stay out
+        assert "src/repro/nn/functional.py" not in widened
+        assert widened == sorted(set(widened))
+
     def test_bad_base_ref_exits_two(self):
         proc = _run_tool("lint_changed.py", "--base", "no-such-ref-xyz")
         assert proc.returncode == 2

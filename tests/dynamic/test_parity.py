@@ -17,7 +17,9 @@ from repro.dynamic import (
     early_exit_variants,
     truncated_spec,
 )
+from repro.dynamic.executor import DynamicShardedExecutor
 from repro.serving import BatchExecutor
+from repro.sim.sharding import ShardedExecutor
 
 BACKBONES = ("alexnet", "resnet18", "vgg16")
 
@@ -47,6 +49,21 @@ class TestDegeneration:
             assert got.energy.total == want.energy.total
         assert all(not d.early for d in actual.decisions)
         assert all(d.exit_name == FINAL_EXIT for d in actual.decisions)
+
+    def test_always_late_sharded_prices_bit_identical(self, model):
+        """PRC001's contract for DynamicShardedExecutor: at ALWAYS_LATE
+        the exit-aware sharded executor degenerates to the static one."""
+        seeds = [0, 7, 11]
+        expected = ShardedExecutor().execute(model, seeds)
+        actual = DynamicShardedExecutor().execute(
+            model, seeds, threshold=ALWAYS_LATE
+        )
+        assert actual.service_cycles == expected.service_cycles
+        assert actual.shard_busy_cycles == expected.shard_busy_cycles
+        for got, want in zip(actual.reports, expected.reports):
+            assert got.total_cycles == want.total_cycles
+            assert got.energy.total == want.energy.total
+        assert all(not d.early for d in actual.decisions)
 
 
 class TestStaticModelsPassThrough:

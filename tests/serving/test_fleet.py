@@ -26,7 +26,7 @@ from repro.serving import (
     initial_fleet_size,
     simulate_fleet,
 )
-from repro.serving.sharding import ShardedBatchResult
+from repro.sim.sharding import ShardedBatchResult
 
 MS = 1_000_000  # cycles per simulated millisecond at the 1 GHz default
 

@@ -1,4 +1,4 @@
-"""Tests for multi-chip model sharding (`repro.serving.sharding`).
+"""Tests for multi-chip model sharding (`repro.sim.sharding`).
 
 Pure-function tests cover the plan/partition algebra; pricing tests run
 the real executor on small reference batches (per-sample reports are
@@ -17,7 +17,7 @@ from repro.serving import (
     partition_layers,
     plan_for,
 )
-from repro.serving.sharding import boundary_elements
+from repro.sim.sharding import boundary_elements
 
 
 @pytest.fixture(scope="module")

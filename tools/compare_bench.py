@@ -8,11 +8,21 @@ trail, wall-clock fields -- see
 This is the check CI runs between ``--jobs 1`` and ``--jobs N`` outputs:
 the views must agree exactly even though the wall clocks never will.
 
-Differing ``duet-dynamic/1`` pairs additionally get a per-scenario
-quality/goodput delta table (goodput, mean exit depth, mean estimated
-drop per serving scenario, B relative to A) instead of only the bare
-first-difference path -- the campaign's interesting drift is almost
-always one of those axes.
+Differing campaign documents additionally get a per-scenario delta
+table (B relative to A) instead of only the bare first-difference path
+-- the campaign's interesting drift is almost always one of a few
+metric axes.  Covered schemas and their axes:
+
+- ``duet-dynamic/1``: goodput, mean exit depth, mean estimated drop per
+  serving scenario;
+- ``duet-serve/1``: throughput, reject/degrade rate, p99 latency per
+  scenario;
+- ``duet-chaos/1``: goodput, success rate, retries, p99 latency per
+  (policy, fault-rate) cell;
+- ``duet-fleet/1``: goodput, reject rate, peak servers, p99 latency per
+  scenario.
+
+Verdict flips are listed for any document pair carrying ``verdicts``.
 
 Exit convention: 0 equal, 1 documents differ, 2 usage or I/O error.
 """
@@ -52,32 +62,89 @@ def _first_diff(a, b, path: str = "$") -> str | None:
     return None if a == b else path
 
 
-#: the schema whose mismatches get the per-scenario delta report.
-_DYNAMIC_SCHEMA = "duet-dynamic/1"
+def _cell_label(record: dict) -> str:
+    """``policy@fault_rate`` identity of one chaos-grid cell."""
+    return f"{record.get('policy')}@{record.get('fault_rate')}"
 
 
-def _dynamic_deltas(a: dict, b: dict) -> list[str]:
-    """Per-scenario quality/goodput delta lines for two dynamic documents."""
-    a_scenarios = {
-        s.get("name"): s for s in a.get("scenarios", []) if isinstance(s, dict)
-    }
-    b_scenarios = {
-        s.get("name"): s for s in b.get("scenarios", []) if isinstance(s, dict)
-    }
-    lines = []
-    for name in sorted(set(a_scenarios) | set(b_scenarios)):
-        if name not in a_scenarios or name not in b_scenarios:
-            only = "B" if name not in a_scenarios else "A"
-            lines.append(f"  {name}: present only in {only}")
-            continue
-        left, right = a_scenarios[name], b_scenarios[name]
-        deltas = []
-        for key, fmt in (
+def _name_label(record: dict) -> str:
+    return str(record.get("name"))
+
+
+#: schema -> (record-list key, record identity, [(dotted metric, fmt)]).
+#: Dotted metrics index into nested dicts (``summary.latency_ms.p99``).
+_DELTA_SPECS: dict[str, tuple] = {
+    "duet-dynamic/1": (
+        "scenarios",
+        _name_label,
+        (
             ("goodput_rps", "+.1f"),
             ("mean_exit_depth", "+.3f"),
             ("mean_quality_drop", "+.4f"),
-        ):
-            x, y = left.get(key), right.get(key)
+        ),
+    ),
+    "duet-serve/1": (
+        "scenarios",
+        _name_label,
+        (
+            ("summary.throughput_rps", "+.1f"),
+            ("summary.reject_rate", "+.4f"),
+            ("summary.degrade_rate", "+.4f"),
+            ("summary.latency_ms.p99", "+.2f"),
+        ),
+    ),
+    "duet-chaos/1": (
+        "cells",
+        _cell_label,
+        (
+            ("summary.goodput_rps", "+.1f"),
+            ("summary.success_rate", "+.4f"),
+            ("summary.retries", "+.0f"),
+            ("summary.latency_ms.p99", "+.2f"),
+        ),
+    ),
+    "duet-fleet/1": (
+        "scenarios",
+        _name_label,
+        (
+            ("goodput_rps", "+.1f"),
+            ("summary.reject_rate", "+.4f"),
+            ("peak_servers", "+.0f"),
+            ("summary.latency_ms.p99", "+.2f"),
+        ),
+    ),
+}
+
+
+def _metric(record: dict, dotted: str):
+    """``record['summary']['latency_ms']['p99']`` for dotted keys."""
+    value = record
+    for part in dotted.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
+
+
+def _schema_deltas(schema: str, a: dict, b: dict) -> list[str]:
+    """Per-record metric delta lines for two same-schema documents."""
+    records_key, label, metrics = _DELTA_SPECS[schema]
+    a_records = {
+        label(r): r for r in a.get(records_key, []) if isinstance(r, dict)
+    }
+    b_records = {
+        label(r): r for r in b.get(records_key, []) if isinstance(r, dict)
+    }
+    lines = []
+    for name in sorted(set(a_records) | set(b_records)):
+        if name not in a_records or name not in b_records:
+            only = "B" if name not in a_records else "A"
+            lines.append(f"  {name}: present only in {only}")
+            continue
+        left, right = a_records[name], b_records[name]
+        deltas = []
+        for key, fmt in metrics:
+            x, y = _metric(left, key), _metric(right, key)
             if isinstance(x, (int, float)) and isinstance(y, (int, float)):
                 deltas.append(f"{key} {format(y - x, fmt)}")
         lines.append(f"  {name}: " + (", ".join(deltas) or "no shared metrics"))
@@ -112,9 +179,10 @@ def main(argv: list[str] | None = None) -> int:
     diff = _first_diff(*views)
     if diff is not None:
         print(f"documents differ at {diff} (after stripping perf/history)")
-        if all(d.get("schema") == _DYNAMIC_SCHEMA for d in documents):
+        schema = documents[0].get("schema")
+        if schema in _DELTA_SPECS and documents[1].get("schema") == schema:
             print("per-scenario deltas (B - A):")
-            for line in _dynamic_deltas(*views):
+            for line in _schema_deltas(schema, *views):
                 print(line)
         return 1
     print(f"deterministic views of {argv[0]} and {argv[1]} are identical")

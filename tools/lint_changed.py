@@ -8,10 +8,17 @@ unstaged, including untracked files -- restricts them to the lint roots
 files.  Whole-tree context rules (PAR001's test-file check, CFG001's
 doc check) still read the live tree, so findings match a full run.
 
+With ``--dependents`` the changed set is widened to its reverse-import
+closure over the whole-program graph (``repro.analysis.project``): every
+module that transitively imports a changed one is re-linted too, so a
+signature or re-export change surfaces findings *at the callers*, not
+just in the edited file.  CI runs in this mode.
+
 Exit convention: 0 clean (or nothing to lint), 1 findings, 2 usage or
 internal error (unknown base ref, git failure).
 
-Usage: ``python tools/lint_changed.py [--base REF] [extra duetlint args]``
+Usage: ``python tools/lint_changed.py [--base REF] [--dependents]
+[extra duetlint args]``
 """
 
 from __future__ import annotations
@@ -53,6 +60,20 @@ def changed_files(base: str) -> list[str]:
     return sorted(set(filter(None, listed)))
 
 
+def with_dependents(paths: list[str]) -> list[str]:
+    """``paths`` plus every program module that transitively imports one.
+
+    Builds the whole-program import graph once; paths outside the
+    program (deleted files, non-Python) pass through untouched so the
+    caller's lintable-filter still applies.
+    """
+    from repro.analysis.engine import Project
+    from repro.analysis.project import ProgramModel
+
+    program = ProgramModel.build(Project(_REPO_ROOT))
+    return sorted(set(paths) | set(program.dependents_closure(paths)))
+
+
 def lintable(paths: list[str]) -> list[str]:
     """Changed paths that duetlint would scan: ``*.py`` under the roots."""
     return [
@@ -75,15 +96,22 @@ def main(argv: list[str] | None = None) -> int:
             print("error: --base requires a ref", file=sys.stderr)
             return 2
         del argv[at : at + 2]
+    dependents = "--dependents" in argv
+    if dependents:
+        argv.remove("--dependents")
     try:
-        files = lintable(changed_files(base))
+        changed = changed_files(base)
+        if dependents:
+            changed = with_dependents(changed)
+        files = lintable(changed)
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not files:
         print(f"no lintable files changed vs {base}")
         return 0
-    print(f"linting {len(files)} file(s) changed vs {base}:")
+    scope = "file(s) changed (incl. dependents)" if dependents else "file(s) changed"
+    print(f"linting {len(files)} {scope} vs {base}:")
     for path in files:
         print(f"  {path}")
     return lint_main(["--root", str(_REPO_ROOT), *files, *argv])
